@@ -1,0 +1,72 @@
+// Command characterize runs one application of the suite end to end —
+// execution (dynamic strategy) or trace-and-replay (static strategy),
+// network simulation, and statistical analysis — and prints the complete
+// communication characterization: inter-arrival fits per source, spatial
+// figures, and the message-length spectrum.
+//
+// Usage:
+//
+//	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv]
+//	characterize -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commchar/internal/apps"
+	"commchar/internal/report"
+	"commchar/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "", "application name (see -list)")
+	procs := flag.Int("procs", 16, "number of processors")
+	scale := flag.String("scale", "full", "problem scale: full or small")
+	logOut := flag.String("log", "", "write the raw network log (CSV) to this file")
+	list := flag.Bool("list", false, "list the application suite and exit")
+	flag.Parse()
+
+	sc := apps.ScaleFull
+	if *scale == "small" {
+		sc = apps.ScaleSmall
+	}
+
+	if *list {
+		for _, w := range apps.Suite(sc) {
+			fmt.Printf("%-10s %-8s %s\n", w.Name, w.Strategy, w.Description)
+		}
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "characterize: -app required (try -list)")
+		os.Exit(2)
+	}
+
+	w, err := apps.ByName(sc, *app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := w.Characterize(*procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
+	report.Render(os.Stdout, c)
+
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteDeliveries(f, c.Log); err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: writing log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nnetwork log (%d messages) written to %s\n", len(c.Log), *logOut)
+	}
+}

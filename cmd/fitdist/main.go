@@ -1,0 +1,97 @@
+// Command fitdist exposes the statistical layer directly: it reads a
+// sample (one number per line, '#' comments ignored), fits every candidate
+// family by DUD regression on the empirical CDF, and prints the ranked
+// candidates with goodness-of-fit measures and a measured-vs-fitted
+// overlay — PROC NLIN at the shell.
+//
+// Usage:
+//
+//	fitdist -in samples.txt [-overlay]
+//	some-producer | fitdist
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"commchar/internal/report"
+	"commchar/internal/stats"
+)
+
+func readSamples(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %q is not a number", lineNo, field)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	overlay := flag.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	xs, err := readSamples(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
+		os.Exit(1)
+	}
+
+	sum := stats.Summarize(xs)
+	fmt.Printf("n=%d mean=%.6g sd=%.6g cv=%.4g min=%.6g median=%.6g max=%.6g\n\n",
+		sum.N, sum.Mean, sum.StdDev, sum.CV, sum.Min, sum.Median, sum.Max)
+
+	fits, err := stats.FitInterarrival(xs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
+		os.Exit(1)
+	}
+	t := &report.Table{
+		Title:   "Candidate families (best first)",
+		Columns: []string{"Family", "Parameters", "R2", "KS", "ChiSq", "p-value"},
+	}
+	for _, f := range fits {
+		t.AddRow(f.Dist.Name(), f.Dist.String(),
+			fmt.Sprintf("%.4f", f.R2),
+			fmt.Sprintf("%.4f", f.KS),
+			fmt.Sprintf("%.1f", f.Chi.Statistic),
+			fmt.Sprintf("%.4f", f.Chi.PValue))
+	}
+	t.Render(os.Stdout)
+
+	if *overlay {
+		fmt.Println()
+		best := fits[0]
+		report.CDFOverlay(os.Stdout,
+			fmt.Sprintf("Measured vs %s", best.Dist), xs, best.Dist, 20, 44)
+	}
+}

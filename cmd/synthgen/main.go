@@ -1,0 +1,95 @@
+// Command synthgen demonstrates the methodology's payoff: it characterizes
+// an application (or a previously saved delivery log), regenerates
+// synthetic traffic from the fitted temporal/spatial/volume models, drives
+// the mesh with it, and compares network metrics between the real and
+// synthetic workloads.
+//
+// Usage:
+//
+//	synthgen -app 1D-FFT [-procs 16] [-scale full|small] [-seed 1]
+//	synthgen -log deliveries.csv -procs 16 -elapsed-ms 3.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commchar/internal/apps"
+	"commchar/internal/core"
+	"commchar/internal/trace"
+	"commchar/internal/workload"
+
+	"commchar/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "", "application name to characterize and regenerate")
+	logFile := flag.String("log", "", "delivery-log CSV to characterize instead of running an app")
+	procs := flag.Int("procs", 16, "number of processors")
+	scale := flag.String("scale", "full", "problem scale: full or small")
+	seed := flag.Uint64("seed", 1, "random seed for the synthetic generator")
+	elapsedMS := flag.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
+	flag.Parse()
+
+	var c *core.Characterization
+	switch {
+	case *app != "":
+		sc := apps.ScaleFull
+		if *scale == "small" {
+			sc = apps.ScaleSmall
+		}
+		w, err := apps.ByName(sc, *app)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(2)
+		}
+		c, err = w.Characterize(*procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(1)
+		}
+	case *logFile != "":
+		if *elapsedMS <= 0 {
+			fmt.Fprintln(os.Stderr, "synthgen: -elapsed-ms required with -log")
+			os.Exit(2)
+		}
+		f, err := os.Open(*logFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(1)
+		}
+		log, err := trace.ReadDeliveries(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(1)
+		}
+		c, err = core.Analyze(*logFile, core.StrategyStatic, log, *procs,
+			sim.Time(*elapsedMS*1e6), 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "synthgen: one of -app or -log required")
+		os.Exit(2)
+	}
+
+	v, err := workload.Validate(c, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	best := c.BestAggregate()
+	fmt.Printf("characterized %s: %d messages, aggregate model %s (R²=%.4f)\n\n",
+		c.Name, c.Messages, best.Dist, best.R2)
+	fmt.Printf("%-22s %14s %14s %8s\n", "metric", "original", "synthetic", "rel.err")
+	fmt.Printf("%-22s %14.4f %14.4f %8.3f\n", "msg rate (msg/us)",
+		v.Original.MessageRate, v.Synthetic.MessageRate, v.RateErr)
+	fmt.Printf("%-22s %14.0f %14.0f %8.3f\n", "mean latency (ns)",
+		v.Original.MeanLatencyNS, v.Synthetic.MeanLatencyNS, v.LatencyErr)
+	fmt.Printf("%-22s %14.4f %14.4f %8.3f\n", "mean link utilization",
+		v.Original.MeanUtilization, v.Synthetic.MeanUtilization, v.UtilErr)
+}

@@ -1,0 +1,44 @@
+// Shared-memory scenario: characterize the paper's five shared-memory
+// applications (1D-FFT, IS, Cholesky, Nbody, Maxflow) under the dynamic
+// (execution-driven) strategy and print the comparative tables — the
+// regular/static applications versus the dynamic, lock-heavy ones.
+//
+//	go run ./examples/sharedmem [-procs 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"commchar/internal/apps"
+	"commchar/internal/core"
+	"commchar/internal/report"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "processors")
+	flag.Parse()
+
+	var cs []*core.Characterization
+	for _, w := range apps.SharedMemory(apps.ScaleSmall) {
+		fmt.Printf("running %s on %d processors...\n", w.Name, *procs)
+		c, err := w.Characterize(*procs)
+		if err != nil {
+			log.Fatalf("%s: %v", w.Name, err)
+		}
+		cs = append(cs, c)
+	}
+	fmt.Println()
+	report.TemporalTable("Inter-arrival time fits (dynamic strategy)", cs).Render(os.Stdout)
+	fmt.Println()
+	report.SpatialTable("Spatial classification", cs).Render(os.Stdout)
+	fmt.Println()
+	report.VolumeTable("Volume attribute", cs).Render(os.Stdout)
+
+	fmt.Println("\nNote how the regular SPMD codes (1D-FFT, IS, Nbody) sit at lower")
+	fmt.Println("inter-arrival CV than the dynamic, lock-driven codes (Cholesky, Maxflow),")
+	fmt.Println("and how every shared-memory code's traffic is a two-point length mix")
+	fmt.Println("(coherence control messages vs cache-line data messages).")
+}

@@ -1,0 +1,3 @@
+module commchar
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package cholesky implements the paper's Cholesky application, drawn from
+// the SPLASH suite [17]: Cholesky factorization of a sparse symmetric
+// positive-definite matrix. The sparsity makes the algorithm's access
+// pattern data-dependent and dynamic: columns are factored as their
+// dependencies resolve, drawn from a lock-protected ready queue, and each
+// completed column fans out updates (cmod) to the columns it touches.
+// The lock and task-queue traffic gives Cholesky the bursty, irregular
+// communication the paper characterizes with hyperexponential fits.
+package cholesky
+
+import (
+	"fmt"
+	"math"
+
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+)
+
+// Config sizes the problem.
+type Config struct {
+	N       int     // matrix dimension
+	Density float64 // probability of a subdiagonal nonzero in the factor
+	OpTime  sim.Duration
+	RngSeed uint64
+}
+
+// DefaultConfig returns the benchmark problem.
+func DefaultConfig() Config {
+	return Config{N: 192, Density: 0.06, OpTime: 40 * sim.Nanosecond, RngSeed: 0xC0}
+}
+
+// Problem is a generated sparse SPD system with a known factor.
+type Problem struct {
+	N       int
+	A       []float64 // dense column-major storage of the SPD matrix
+	ColRows [][]int   // pattern: sorted rows i > j with L[i][j] != 0
+	TrueL   []float64 // the factor the run must recover (column-major)
+}
+
+// Generate builds a sparse SPD matrix A = L0·L0ᵀ from a random sparse
+// lower-triangular L0 with positive diagonal. Since the Cholesky factor is
+// unique, the run must recover exactly L0 (no fill beyond its pattern).
+func Generate(cfg Config) *Problem {
+	n := cfg.N
+	st := sim.NewStream(cfg.RngSeed)
+	l := make([]float64, n*n) // column-major
+	colRows := make([][]int, n)
+	for j := 0; j < n; j++ {
+		l[j*n+j] = 1 + st.Float64()
+		for i := j + 1; i < n; i++ {
+			if st.Float64() < cfg.Density {
+				l[j*n+i] = st.Float64() - 0.5
+				colRows[j] = append(colRows[j], i)
+			}
+		}
+	}
+	// A = L0 · L0ᵀ, dense.
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var sum float64
+			for k := 0; k <= j; k++ {
+				sum += l[k*n+i] * l[k*n+j]
+			}
+			a[j*n+i] = sum
+			a[i*n+j] = sum
+		}
+	}
+	return &Problem{N: n, A: a, ColRows: colRows, TrueL: l}
+}
+
+// Result carries the computed factor.
+type Result struct {
+	L        []float64 // column-major factor
+	Makespan sim.Time
+	Tasks    int // columns factored
+}
+
+// Lock identifiers: the queue lock plus one lock per column.
+const queueLock = 0
+
+func columnLock(j int) int { return 1 + j }
+
+// Run factors the problem on the machine.
+func Run(m *spasm.Machine, prob *Problem, opTime sim.Duration) (*Result, error) {
+	n := prob.N
+	p := m.Config().Processors
+	if n < p {
+		return nil, fmt.Errorf("cholesky: %d columns for %d processors", n, p)
+	}
+	if opTime <= 0 {
+		opTime = DefaultConfig().OpTime
+	}
+
+	// Working matrix (becomes L in place), shared column-major.
+	aArr := m.NewArray(n*n, 8)
+	w := append([]float64(nil), prob.A...)
+
+	// Dependency counts: ndeps[k] = columns j<k that must cmod k.
+	ndeps := make([]int, n)
+	for j := 0; j < n; j++ {
+		for _, i := range prob.ColRows[j] {
+			ndeps[i]++
+		}
+	}
+	var queue []int
+	for j := 0; j < n; j++ {
+		if ndeps[j] == 0 {
+			queue = append(queue, j)
+		}
+	}
+	done := 0
+	tasks := 0
+
+	makespan, err := m.Run(func(e *spasm.Env) {
+		for {
+			// Draw a ready column from the shared queue.
+			e.Lock(queueLock)
+			if done == n {
+				e.Unlock(queueLock)
+				return
+			}
+			if len(queue) == 0 {
+				e.Unlock(queueLock)
+				e.Compute(500 * sim.Nanosecond) // spin-wait
+				continue
+			}
+			j := queue[0]
+			queue = queue[1:]
+			e.Unlock(queueLock)
+
+			// cdiv(j): scale column j by the square root of its pivot.
+			e.ReadArray(aArr, j*n+j)
+			pivot := math.Sqrt(w[j*n+j])
+			w[j*n+j] = pivot
+			e.WriteArray(aArr, j*n+j)
+			for _, i := range prob.ColRows[j] {
+				e.ReadArray(aArr, j*n+i)
+				w[j*n+i] /= pivot
+				e.WriteArray(aArr, j*n+i)
+				e.Compute(opTime)
+			}
+
+			// Fan-out: cmod(k, j) for every dependent column k.
+			for ki, k := range prob.ColRows[j] {
+				e.Lock(columnLock(k))
+				e.ReadArray(aArr, j*n+k)
+				lkj := w[j*n+k]
+				for _, i := range prob.ColRows[j][ki:] {
+					// Rows i >= k of column j update column k; the first
+					// iteration (i == k) updates k's diagonal by lkj².
+					e.ReadArray(aArr, j*n+i)
+					e.ReadArray(aArr, k*n+i)
+					w[k*n+i] -= w[j*n+i] * lkj
+					e.WriteArray(aArr, k*n+i)
+					e.Compute(opTime)
+				}
+				ndeps[k]--
+				ready := ndeps[k] == 0
+				e.Unlock(columnLock(k))
+				if ready {
+					e.Lock(queueLock)
+					queue = append(queue, k)
+					e.Unlock(queueLock)
+				}
+			}
+
+			e.Lock(queueLock)
+			done++
+			tasks++
+			e.Unlock(queueLock)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Zero the strict upper triangle of the result view (untouched input).
+	lout := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		lout[j*n+j] = w[j*n+j]
+		for _, i := range prob.ColRows[j] {
+			lout[j*n+i] = w[j*n+i]
+		}
+	}
+	return &Result{L: lout, Makespan: makespan, Tasks: tasks}, nil
+}

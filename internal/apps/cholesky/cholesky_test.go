@@ -1,0 +1,127 @@
+package cholesky
+
+import (
+	"math"
+	"testing"
+
+	"commchar/internal/spasm"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGenerateIsSPDWithKnownFactor(t *testing.T) {
+	prob := Generate(Config{N: 32, Density: 0.15, RngSeed: 1})
+	// A must equal TrueL · TrueLᵀ and be symmetric.
+	n := prob.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(prob.A[j*n+i]-prob.A[i*n+j]) > 1e-12 {
+				t.Fatalf("A not symmetric at (%d,%d)", i, j)
+			}
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += prob.TrueL[k*n+i] * prob.TrueL[k*n+j]
+			}
+			if math.Abs(sum-prob.A[j*n+i]) > 1e-9 {
+				t.Fatalf("A != L·Lᵀ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFactorizationRecoversTrueL(t *testing.T) {
+	prob := Generate(Config{N: 48, Density: 0.12, RngSeed: 2})
+	m := spasm.NewDefault(4)
+	res, err := Run(m, prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.L, prob.TrueL); d > 1e-8 {
+		t.Fatalf("factor differs from truth by %v", d)
+	}
+	if res.Tasks != prob.N {
+		t.Fatalf("factored %d of %d columns", res.Tasks, prob.N)
+	}
+}
+
+func TestFactorizationLLTEqualsA(t *testing.T) {
+	prob := Generate(Config{N: 64, Density: 0.08, RngSeed: 3})
+	m := spasm.NewDefault(8)
+	res, err := Run(m, prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := prob.N
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var sum float64
+			for k := 0; k <= j; k++ {
+				sum += res.L[k*n+i] * res.L[k*n+j]
+			}
+			if math.Abs(sum-prob.A[j*n+i]) > 1e-8 {
+				t.Fatalf("L·Lᵀ != A at (%d,%d): %v vs %v", i, j, sum, prob.A[j*n+i])
+			}
+		}
+	}
+	if err := m.Mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossProcessorCounts(t *testing.T) {
+	// The factor is unique, so any processor count must yield it.
+	prob := Generate(Config{N: 40, Density: 0.1, RngSeed: 4})
+	var first []float64
+	for _, procs := range []int{1, 2, 8} {
+		m := spasm.NewDefault(procs)
+		res, err := Run(m, prob, 0)
+		if err != nil {
+			t.Fatalf("%d procs: %v", procs, err)
+		}
+		if first == nil {
+			first = res.L
+			continue
+		}
+		if d := maxAbsDiff(first, res.L); d > 1e-9 {
+			t.Fatalf("%d procs: factor differs by %v", procs, d)
+		}
+	}
+}
+
+func TestDynamicTrafficGenerated(t *testing.T) {
+	prob := Generate(Config{N: 64, Density: 0.1, RngSeed: 5})
+	m := spasm.NewDefault(8)
+	_, err := Run(m, prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Net.Delivered() == 0 {
+		t.Fatal("no traffic")
+	}
+	// Lock traffic to the queue lock's home (processor 0) must exist.
+	toQueueHome := 0
+	for _, d := range m.Net.Log() {
+		if d.Dst == 0 {
+			toQueueHome++
+		}
+	}
+	if toQueueHome == 0 {
+		t.Fatal("no task-queue lock traffic")
+	}
+}
+
+func TestRejectsTooFewColumns(t *testing.T) {
+	prob := Generate(Config{N: 4, Density: 0.5, RngSeed: 6})
+	m := spasm.NewDefault(8)
+	if _, err := Run(m, prob, 0); err == nil {
+		t.Fatal("tiny problem accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package fft1d implements the paper's 1D-FFT shared-memory application
+// [8]: a 1-dimensional complex Fast Fourier Transform in three phases.
+// In the first and last phase each processor performs radix-2 butterfly
+// computation on locally-owned data; the middle phase is a transpose, the
+// only communication phase.
+//
+// The implementation is the four-step FFT: the N-point sequence is viewed
+// as an n1×n2 matrix; phase 1 computes the n1-point DFT of each owned
+// column and applies twiddle factors, phase 2 transposes ownership from
+// columns to rows (shared-memory reads of remote data), and phase 3
+// computes the n2-point DFT of each owned row.
+package fft1d
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Points int // total FFT size, a power of four (so n1 = n2 = sqrt(N))
+	// FlopTime is the charged cost of one complex butterfly operation.
+	FlopTime sim.Duration
+}
+
+// DefaultConfig returns the benchmark problem: 16384 points.
+func DefaultConfig() Config {
+	return Config{Points: 16384, FlopTime: 50 * sim.Nanosecond}
+}
+
+// Result carries the computed transform and run metadata.
+type Result struct {
+	Output   []complex128 // X[k], natural order
+	Makespan sim.Time
+}
+
+// Run executes the FFT on the machine and returns the verified-ready result.
+func Run(m *spasm.Machine, cfg Config) (*Result, error) {
+	n := cfg.Points
+	if n < 4 || bits.OnesCount(uint(n)) != 1 || bits.TrailingZeros(uint(n))%2 != 0 {
+		return nil, fmt.Errorf("fft1d: %d points (need a power of four)", n)
+	}
+	p := m.Config().Processors
+	n1 := 1 << (bits.TrailingZeros(uint(n)) / 2) // rows
+	n2 := n / n1                                 // columns
+	if n2 < p || n1 < p {
+		return nil, fmt.Errorf("fft1d: %d points too small for %d processors", n, p)
+	}
+	if cfg.FlopTime <= 0 {
+		cfg.FlopTime = DefaultConfig().FlopTime
+	}
+
+	// Input signal: a deterministic pseudo-random sequence.
+	x := make([]complex128, n)
+	st := sim.NewStream(0xFF7)
+	for i := range x {
+		x[i] = complex(st.Float64()*2-1, st.Float64()*2-1)
+	}
+
+	// Shared matrices. A holds the working matrix in column-major order
+	// (a column is contiguous: element (l1, l2) at l2*n1 + l1), so phase 1
+	// walks locally-owned lines. C holds the transposed, row-major result
+	// (element (k1, l2) at k1*n2 + l2) for phase 3.
+	const elemBytes = 16 // one complex128
+	aArr := m.NewArray(n, elemBytes)
+	cArr := m.NewArray(n, elemBytes)
+
+	// Real data mirrors the shared arrays.
+	a := make([]complex128, n) // column-major working data
+	c := make([]complex128, n) // row-major transposed data
+	for l1 := 0; l1 < n1; l1++ {
+		for l2 := 0; l2 < n2; l2++ {
+			a[l2*n1+l1] = x[l1*n2+l2] // input element x[l1*n2+l2]
+		}
+	}
+
+	out := make([]complex128, n)
+	fftCost := func(size int) sim.Duration {
+		return cfg.FlopTime * sim.Duration(size*bits.TrailingZeros(uint(size)))
+	}
+
+	makespan, err := m.Run(func(e *spasm.Env) {
+		id, np := e.ID(), e.N()
+
+		// Phase 1: DFT down each owned column (over l1), then twiddle.
+		colLo, colHi := id*n2/np, (id+1)*n2/np
+		for l2 := colLo; l2 < colHi; l2++ {
+			col := a[l2*n1 : (l2+1)*n1]
+			for l1 := 0; l1 < n1; l1++ {
+				e.ReadArray(aArr, l2*n1+l1)
+			}
+			fftInPlace(col)
+			e.Compute(fftCost(n1))
+			for k1 := 0; k1 < n1; k1++ {
+				// Twiddle: multiply by w_n^{k1*l2}.
+				ang := -2 * math.Pi * float64(k1) * float64(l2) / float64(n)
+				col[k1] *= cmplx.Exp(complex(0, ang))
+				e.WriteArray(aArr, l2*n1+k1)
+			}
+			e.Compute(cfg.FlopTime * sim.Duration(n1))
+		}
+		e.Barrier()
+
+		// Phase 2: transpose — each processor gathers its rows k1,
+		// reading every column owner's data (the communication phase).
+		rowLo, rowHi := id*n1/np, (id+1)*n1/np
+		for k1 := rowLo; k1 < rowHi; k1++ {
+			for l2 := 0; l2 < n2; l2++ {
+				e.ReadArray(aArr, l2*n1+k1)
+				c[k1*n2+l2] = a[l2*n1+k1]
+				e.WriteArray(cArr, k1*n2+l2)
+			}
+		}
+		e.Barrier()
+
+		// Phase 3: DFT along each owned row (over l2).
+		for k1 := rowLo; k1 < rowHi; k1++ {
+			row := c[k1*n2 : (k1+1)*n2]
+			for l2 := 0; l2 < n2; l2++ {
+				e.ReadArray(cArr, k1*n2+l2)
+			}
+			fftInPlace(row)
+			e.Compute(fftCost(n2))
+			for k2 := 0; k2 < n2; k2++ {
+				out[k2*n1+k1] = row[k2]
+				e.WriteArray(cArr, k1*n2+k2)
+			}
+		}
+		e.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Makespan: makespan}, nil
+}
+
+// fftInPlace computes the in-place radix-2 DIT FFT of a power-of-two slice.
+func fftInPlace(v []complex128) {
+	n := len(v)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				lo, hi := start+k, start+k+half
+				t := w * v[hi]
+				v[hi] = v[lo] - t
+				v[lo] += t
+			}
+		}
+	}
+}
+
+// Reference computes the direct O(n²) DFT, for verification.
+func Reference(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for l := 0; l < n; l++ {
+			ang := -2 * math.Pi * float64(k) * float64(l) / float64(n)
+			sum += x[l] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Input regenerates the deterministic input signal Run uses, so tests can
+// verify the transform.
+func Input(n int) []complex128 {
+	x := make([]complex128, n)
+	st := sim.NewStream(0xFF7)
+	for i := range x {
+		x[i] = complex(st.Float64()*2-1, st.Float64()*2-1)
+	}
+	return x
+}

@@ -1,0 +1,311 @@
+// Package fft3d implements the paper's 3D-FFT message-passing application:
+// the NAS FT kernel [15]. A 3-D array of data is distributed according to
+// z-planes; FFTs along x and y are local, the z dimension is brought local
+// by an all-to-all transpose, and every iteration ends with a checksum
+// reduction. Rank 0 roots the initial parameter broadcast and all checksum
+// reductions, which is what makes processor p0 the "favorite" in the
+// paper's spatial distribution for this application while the volume
+// distribution stays uniform.
+package fft3d
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"commchar/internal/mp"
+	"commchar/internal/sim"
+)
+
+// Config sizes the problem.
+type Config struct {
+	NX, NY, NZ int // grid dimensions, powers of two
+	Iterations int
+	FlopTime   sim.Duration
+	RngSeed    uint64
+}
+
+// DefaultConfig returns the benchmark problem.
+func DefaultConfig() Config {
+	return Config{NX: 32, NY: 32, NZ: 32, Iterations: 3, FlopTime: 50 * sim.Nanosecond, RngSeed: 0x3DF}
+}
+
+// Result carries the transform gathered at rank 0.
+type Result struct {
+	// X is the 3-D DFT indexed X[k3*NY*NX + k2*NX + k1] (k1 along x).
+	X        []complex128
+	Makespan sim.Time
+	Checksum complex128
+}
+
+// Input regenerates the deterministic input field, indexed
+// x + NX*(y + NY*z).
+func Input(cfg Config) []complex128 {
+	n := cfg.NX * cfg.NY * cfg.NZ
+	st := sim.NewStream(cfg.RngSeed)
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(st.Float64()*2-1, st.Float64()*2-1)
+	}
+	return in
+}
+
+func pow2(v int) bool { return v > 0 && bits.OnesCount(uint(v)) == 1 }
+
+// Run executes the kernel on the world and returns the result (populated at
+// rank 0). The world must not have been run before.
+func Run(w *mp.World, cfg Config, procs int) (*Result, error) {
+	if !pow2(cfg.NX) || !pow2(cfg.NY) || !pow2(cfg.NZ) {
+		return nil, fmt.Errorf("fft3d: grid %dx%dx%d must be powers of two", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.NZ%procs != 0 || cfg.NX%procs != 0 {
+		return nil, fmt.Errorf("fft3d: NZ (%d) and NX (%d) must divide ranks (%d)", cfg.NZ, cfg.NX, procs)
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+	if cfg.FlopTime <= 0 {
+		cfg.FlopTime = DefaultConfig().FlopTime
+	}
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	zPer := nz / procs
+	xPer := nx / procs
+	input := Input(cfg)
+
+	res := &Result{}
+	makespan, err := w.Run(func(r *mp.Rank) {
+		id := r.ID()
+		fftCost := func(size, count int) sim.Duration {
+			return cfg.FlopTime * sim.Duration(count*size*bits.TrailingZeros(uint(size)))
+		}
+
+		// Rank 0 broadcasts the run parameters.
+		r.Bcast(0, 64, cfg)
+
+		// Local slab: z-planes [id*zPer, (id+1)*zPer), indexed
+		// x + nx*(y + ny*zLocal).
+		slab := make([]complex128, nx*ny*zPer)
+
+		var checksum complex128
+		// transposed holds the x-distributed array after the all-to-all:
+		// indexed z + nz*(y + ny*xLocal).
+		transposed := make([]complex128, nz*ny*xPer)
+
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			// (Re)load the evolved field; each NAS FT iteration
+			// transforms a fresh time-evolved state, so each iteration
+			// here reloads and produces identical communication.
+			for zl := 0; zl < zPer; zl++ {
+				z := id*zPer + zl
+				copy(slab[nx*ny*zl:nx*ny*(zl+1)], input[nx*ny*z:nx*ny*(z+1)])
+			}
+
+			// FFT along x: each (y, z-local) row is contiguous.
+			for zl := 0; zl < zPer; zl++ {
+				for y := 0; y < ny; y++ {
+					row := slab[nx*(y+ny*zl) : nx*(y+ny*zl+1)]
+					fftInPlace(row)
+				}
+			}
+			r.Compute(fftCost(nx, ny*zPer))
+
+			// FFT along y: strided gather per (x, z-local) line.
+			bufY := make([]complex128, ny)
+			for zl := 0; zl < zPer; zl++ {
+				for x := 0; x < nx; x++ {
+					for y := 0; y < ny; y++ {
+						bufY[y] = slab[x+nx*(y+ny*zl)]
+					}
+					fftInPlace(bufY)
+					for y := 0; y < ny; y++ {
+						slab[x+nx*(y+ny*zl)] = bufY[y]
+					}
+				}
+			}
+			r.Compute(fftCost(ny, nx*zPer))
+
+			// Transpose z<->x by personalized all-to-all: the chunk for
+			// rank s holds elements with x in s's range, packed
+			// z-local-major: zl + zPer*(y + ny*xl).
+			chunkElems := zPer * ny * xPer
+			chunks := make([]any, procs)
+			for s := 0; s < procs; s++ {
+				ck := make([]complex128, chunkElems)
+				for xl := 0; xl < xPer; xl++ {
+					x := s*xPer + xl
+					for y := 0; y < ny; y++ {
+						for zl := 0; zl < zPer; zl++ {
+							ck[zl+zPer*(y+ny*xl)] = slab[x+nx*(y+ny*zl)]
+						}
+					}
+				}
+				chunks[s] = ck
+			}
+			got := r.Alltoall(chunkElems*16, chunks)
+			// Unpack: chunk from rank q carries z in q's range.
+			for q := 0; q < procs; q++ {
+				ck := got[q].([]complex128)
+				for xl := 0; xl < xPer; xl++ {
+					for y := 0; y < ny; y++ {
+						for zl := 0; zl < zPer; zl++ {
+							z := q*zPer + zl
+							transposed[z+nz*(y+ny*xl)] = ck[zl+zPer*(y+ny*xl)]
+						}
+					}
+				}
+			}
+			r.Compute(cfg.FlopTime * sim.Duration(nz*ny*xPer))
+
+			// FFT along z: contiguous lines in the transposed layout.
+			for xl := 0; xl < xPer; xl++ {
+				for y := 0; y < ny; y++ {
+					line := transposed[nz*(y+ny*xl) : nz*(y+ny*xl+1)]
+					fftInPlace(line)
+				}
+			}
+			r.Compute(fftCost(nz, ny*xPer))
+
+			// Checksum reduction at rank 0 (NAS FT verifies this way).
+			var local complex128
+			for i := 0; i < len(transposed); i += 7 {
+				local += transposed[i]
+			}
+			sum := r.Reduce(0, 16, local, func(a, b any) any {
+				return a.(complex128) + b.(complex128)
+			})
+			if id == 0 {
+				checksum = sum.(complex128)
+			}
+		}
+
+		// Gather the transform at rank 0 for verification.
+		all := r.Gather(0, len(transposed)*16, transposed)
+		if id == 0 {
+			out := make([]complex128, nx*ny*nz)
+			for q := 0; q < procs; q++ {
+				part := all[q].([]complex128)
+				for xl := 0; xl < xPer; xl++ {
+					k1 := q*xPer + xl
+					for k2 := 0; k2 < ny; k2++ {
+						for k3 := 0; k3 < nz; k3++ {
+							out[k3*ny*nx+k2*nx+k1] = part[k3+nz*(k2+ny*xl)]
+						}
+					}
+				}
+			}
+			res.X = out
+			res.Checksum = checksum
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = makespan
+	return res, nil
+}
+
+// fftInPlace computes the in-place radix-2 DIT FFT of a power-of-two slice.
+func fftInPlace(v []complex128) {
+	n := len(v)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				lo, hi := start+k, start+k+half
+				t := w * v[hi]
+				v[hi] = v[lo] - t
+				v[lo] += t
+			}
+		}
+	}
+}
+
+// Reference computes the direct 3-D DFT for verification, indexed like
+// Result.X.
+func Reference(cfg Config) []complex128 {
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	in := Input(cfg)
+	out := make([]complex128, nx*ny*nz)
+	// Transform one axis at a time with the same fast kernel (the direct
+	// O(n²) triple loop is prohibitive even at 16³).
+	// Axis x.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			row := in[nx*(y+ny*z) : nx*(y+ny*z+1)]
+			fftInPlace(row)
+		}
+	}
+	// Axis y.
+	buf := make([]complex128, ny)
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				buf[y] = in[x+nx*(y+ny*z)]
+			}
+			fftInPlace(buf)
+			for y := 0; y < ny; y++ {
+				in[x+nx*(y+ny*z)] = buf[y]
+			}
+		}
+	}
+	// Axis z.
+	bufZ := make([]complex128, nz)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				bufZ[z] = in[x+nx*(y+ny*z)]
+			}
+			fftInPlace(bufZ)
+			for z := 0; z < nz; z++ {
+				in[x+nx*(y+ny*z)] = bufZ[z]
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out[z*ny*nx+y*nx+x] = in[x+nx*(y+ny*z)]
+			}
+		}
+	}
+	return out
+}
+
+// ReferenceDirect computes the direct O(N²) 3-D DFT of a small field; used
+// to validate Reference itself.
+func ReferenceDirect(cfg Config) []complex128 {
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	in := Input(cfg)
+	out := make([]complex128, nx*ny*nz)
+	for k3 := 0; k3 < nz; k3++ {
+		for k2 := 0; k2 < ny; k2++ {
+			for k1 := 0; k1 < nx; k1++ {
+				var sum complex128
+				for z := 0; z < nz; z++ {
+					for y := 0; y < ny; y++ {
+						for x := 0; x < nx; x++ {
+							ang := -2 * math.Pi * (float64(k1*x)/float64(nx) +
+								float64(k2*y)/float64(ny) + float64(k3*z)/float64(nz))
+							sum += in[x+nx*(y+ny*z)] * cmplx.Exp(complex(0, ang))
+						}
+					}
+				}
+				out[k3*ny*nx+k2*nx+k1] = sum
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package is implements the paper's IS application [8]: an Integer Sort
+// kernel that ranks a list of integers by bucket (counting) sort. The input
+// is equally partitioned; each processor builds local bucket counts, the
+// bucket space is partitioned for the global-histogram phase, processor 0
+// combines the per-range totals (one source of its "favorite processor"
+// status in the paper's spatial distributions), and each processor finally
+// ranks its own keys.
+package is
+
+import (
+	"fmt"
+
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Keys    int // number of integers to rank
+	MaxKey  int // keys are drawn uniformly from [0, MaxKey)
+	OpTime  sim.Duration
+	RngSeed uint64
+}
+
+// DefaultConfig returns the benchmark problem.
+func DefaultConfig() Config {
+	return Config{Keys: 65536, MaxKey: 1024, OpTime: 20 * sim.Nanosecond, RngSeed: 0x15}
+}
+
+// Result carries the computed ranks.
+type Result struct {
+	Keys     []int // the input keys
+	Ranks    []int // rank of each key: its position in sorted order
+	Makespan sim.Time
+}
+
+// Run executes the sort.
+func Run(m *spasm.Machine, cfg Config) (*Result, error) {
+	n, b := cfg.Keys, cfg.MaxKey
+	p := m.Config().Processors
+	if n < p || b < p {
+		return nil, fmt.Errorf("is: %d keys / %d buckets too small for %d processors", n, b, p)
+	}
+	if n%p != 0 || b%p != 0 {
+		return nil, fmt.Errorf("is: keys (%d) and buckets (%d) must divide processors (%d)", n, b, p)
+	}
+	if cfg.OpTime <= 0 {
+		cfg.OpTime = DefaultConfig().OpTime
+	}
+
+	// Input keys.
+	keys := make([]int, n)
+	st := sim.NewStream(cfg.RngSeed)
+	for i := range keys {
+		keys[i] = st.IntN(b)
+	}
+
+	// Shared arrays (8-byte elements).
+	keysArr := m.NewArray(n, 8)
+	localHist := m.NewArray(p*b, 8) // proc-major: proc q's counts at q*b+v
+	rankBase := m.NewArray(b, 8)    // global rank of the first key with value v
+	rangeTot := m.NewArray(p, 8)    // keys in each processor's bucket range
+	offsets := m.NewArray(p, 8)     // prefix sums of rangeTot, by processor 0
+
+	// Real data.
+	hist := make([]int, p*b)
+	base := make([]int, b)
+	totals := make([]int, p)
+	offs := make([]int, p)
+	ranks := make([]int, n)
+
+	per := n / p
+	bper := b / p
+
+	makespan, err := m.Run(func(e *spasm.Env) {
+		id := e.ID()
+
+		// Phase 1: local histogram.
+		for i := id * per; i < (id+1)*per; i++ {
+			e.ReadArray(keysArr, i)
+			hist[id*b+keys[i]]++
+			e.Compute(cfg.OpTime)
+		}
+		for v := 0; v < b; v++ {
+			e.WriteArray(localHist, id*b+v)
+		}
+		e.Barrier()
+
+		// Phase 2: global counts for the owned bucket range, plus the
+		// range total (reads every processor's local histogram — the
+		// all-to-all phase).
+		total := 0
+		for v := id * bper; v < (id+1)*bper; v++ {
+			sum := 0
+			for q := 0; q < p; q++ {
+				e.ReadArray(localHist, q*b+v)
+				sum += hist[q*b+v]
+			}
+			base[v] = sum // temporarily the global count
+			e.WriteArray(rankBase, v)
+			total += sum
+			e.Compute(cfg.OpTime * sim.Duration(p))
+		}
+		totals[id] = total
+		e.WriteArray(rangeTot, id)
+		e.Barrier()
+
+		// Phase 3: processor 0 prefixes the range totals.
+		if id == 0 {
+			acc := 0
+			for q := 0; q < p; q++ {
+				e.ReadArray(rangeTot, q)
+				offs[q] = acc
+				acc += totals[q]
+				e.WriteArray(offsets, q)
+				e.Compute(cfg.OpTime)
+			}
+		}
+		e.Barrier()
+
+		// Phase 4: turn global counts into global rank bases for the
+		// owned range.
+		e.ReadArray(offsets, id)
+		acc := offs[id]
+		for v := id * bper; v < (id+1)*bper; v++ {
+			e.ReadArray(rankBase, v)
+			cnt := base[v]
+			base[v] = acc
+			acc += cnt
+			e.WriteArray(rankBase, v)
+			e.Compute(cfg.OpTime)
+		}
+		e.Barrier()
+
+		// Phase 5: rank local keys. The rank of the t-th local occurrence
+		// of value v at processor id is
+		//   rankBase[v] + (occurrences at processors < id) + t.
+		before := make([]int, b)
+		for v := 0; v < b; v++ {
+			e.ReadArray(rankBase, v)
+			s := base[v]
+			for q := 0; q < id; q++ {
+				e.ReadArray(localHist, q*b+v)
+				s += hist[q*b+v]
+			}
+			before[v] = s
+		}
+		for i := id * per; i < (id+1)*per; i++ {
+			v := keys[i]
+			ranks[i] = before[v]
+			before[v]++
+			e.Compute(cfg.OpTime)
+		}
+		e.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Keys: keys, Ranks: ranks, Makespan: makespan}, nil
+}

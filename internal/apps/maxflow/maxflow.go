@@ -1,0 +1,274 @@
+// Package maxflow implements the paper's Maxflow application [26]: finding
+// the maximum flow from a source to a sink in a directed graph with
+// Goldberg's push-relabel algorithm. Active nodes are discharged from a
+// lock-protected shared work queue, so the communication pattern is
+// data-dependent and lock-heavy — the dynamic end of the paper's
+// application spectrum.
+//
+// Graph mutation during a discharge is serialized by a global graph lock
+// (a simplification of per-node locking that preserves both correctness
+// and the hot-spot synchronization traffic the characterization measures).
+package maxflow
+
+import (
+	"fmt"
+
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+)
+
+// Edge is one directed edge in the residual representation; edge i and
+// edge i^1 are a forward/reverse pair.
+type Edge struct {
+	To  int
+	Cap int64
+}
+
+// Graph is a flow network.
+type Graph struct {
+	N      int
+	Edges  []Edge  // pairs: Edges[i^1] is the reverse of Edges[i]
+	Adj    [][]int // adjacency lists of edge indices
+	Source int
+	Sink   int
+}
+
+// AddEdge inserts a forward edge and its zero-capacity reverse.
+func (g *Graph) AddEdge(u, v int, cap int64) {
+	g.Adj[u] = append(g.Adj[u], len(g.Edges))
+	g.Edges = append(g.Edges, Edge{To: v, Cap: cap})
+	g.Adj[v] = append(g.Adj[v], len(g.Edges))
+	g.Edges = append(g.Edges, Edge{To: u, Cap: 0})
+}
+
+// Config sizes the generated problem.
+type Config struct {
+	Layers  int
+	Width   int
+	OpTime  sim.Duration
+	RngSeed uint64
+}
+
+// DefaultConfig returns the benchmark problem.
+func DefaultConfig() Config {
+	return Config{Layers: 10, Width: 12, OpTime: 30 * sim.Nanosecond, RngSeed: 0xF10}
+}
+
+// Generate builds a layered random network: source → layer 0 → … →
+// layer L-1 → sink, with a few skip edges for irregularity.
+func Generate(cfg Config) *Graph {
+	st := sim.NewStream(cfg.RngSeed)
+	n := cfg.Layers*cfg.Width + 2
+	g := &Graph{N: n, Adj: make([][]int, n), Source: 0, Sink: n - 1}
+	node := func(layer, i int) int { return 1 + layer*cfg.Width + i }
+	for i := 0; i < cfg.Width; i++ {
+		g.AddEdge(g.Source, node(0, i), int64(5+st.IntN(20)))
+	}
+	for l := 0; l < cfg.Layers-1; l++ {
+		for i := 0; i < cfg.Width; i++ {
+			outs := 2 + st.IntN(2)
+			for k := 0; k < outs; k++ {
+				g.AddEdge(node(l, i), node(l+1, st.IntN(cfg.Width)), int64(1+st.IntN(15)))
+			}
+			if st.Float64() < 0.1 && l+2 < cfg.Layers {
+				g.AddEdge(node(l, i), node(l+2, st.IntN(cfg.Width)), int64(1+st.IntN(10)))
+			}
+		}
+	}
+	for i := 0; i < cfg.Width; i++ {
+		g.AddEdge(node(cfg.Layers-1, i), g.Sink, int64(5+st.IntN(20)))
+	}
+	return g
+}
+
+// Result carries the flow value.
+type Result struct {
+	Flow     int64
+	Makespan sim.Time
+	Pushes   int64
+	Relabels int64
+}
+
+// Lock identifiers.
+const (
+	queueLock = 0
+	graphLock = 1
+)
+
+// Run computes the maximum flow on the machine.
+func Run(m *spasm.Machine, g *Graph, opTime sim.Duration) (*Result, error) {
+	if g.N < 4 {
+		return nil, fmt.Errorf("maxflow: %d nodes too small", g.N)
+	}
+	if opTime <= 0 {
+		opTime = DefaultConfig().OpTime
+	}
+
+	// Shared state (the algorithm's data plane).
+	excessArr := m.NewArray(g.N, 8)
+	heightArr := m.NewArray(g.N, 8)
+	flowArr := m.NewArray(len(g.Edges), 8)
+
+	excess := make([]int64, g.N)
+	height := make([]int, g.N)
+	flow := make([]int64, len(g.Edges))
+	arc := make([]int, g.N)
+
+	// Initialize: saturate source edges.
+	height[g.Source] = g.N
+	var queue []int
+	inQueue := make([]bool, g.N)
+	for _, ei := range g.Adj[g.Source] {
+		e := g.Edges[ei]
+		if e.Cap > 0 {
+			flow[ei] = e.Cap
+			flow[ei^1] = -e.Cap
+			excess[e.To] += e.Cap
+			excess[g.Source] -= e.Cap
+			if e.To != g.Sink && !inQueue[e.To] {
+				queue = append(queue, e.To)
+				inQueue[e.To] = true
+			}
+		}
+	}
+	inProgress := 0
+	var pushes, relabels int64
+
+	makespan, err := m.Run(func(e *spasm.Env) {
+		for {
+			e.Lock(queueLock)
+			if len(queue) == 0 {
+				if inProgress == 0 {
+					e.Unlock(queueLock)
+					return
+				}
+				e.Unlock(queueLock)
+				e.Compute(500 * sim.Nanosecond)
+				continue
+			}
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			inProgress++
+			e.Unlock(queueLock)
+
+			// Discharge u under the graph lock.
+			var activated []int
+			e.Lock(graphLock)
+			e.ReadArray(excessArr, u)
+			e.ReadArray(heightArr, u)
+			for excess[u] > 0 {
+				if arc[u] == len(g.Adj[u]) {
+					// Relabel: 1 + min height over residual edges.
+					minH := 1 << 30
+					for _, ei := range g.Adj[u] {
+						e.ReadArray(flowArr, ei)
+						if g.Edges[ei].Cap-flow[ei] > 0 {
+							e.ReadArray(heightArr, g.Edges[ei].To)
+							if h := height[g.Edges[ei].To]; h < minH {
+								minH = h
+							}
+						}
+						e.Compute(opTime)
+					}
+					if minH == 1<<30 {
+						break // no residual edges: excess is stuck
+					}
+					height[u] = minH + 1
+					e.WriteArray(heightArr, u)
+					arc[u] = 0
+					relabels++
+					continue
+				}
+				ei := g.Adj[u][arc[u]]
+				ed := g.Edges[ei]
+				e.ReadArray(flowArr, ei)
+				e.ReadArray(heightArr, ed.To)
+				res := ed.Cap - flow[ei]
+				if res > 0 && height[u] == height[ed.To]+1 {
+					// Push.
+					delta := excess[u]
+					if res < delta {
+						delta = res
+					}
+					flow[ei] += delta
+					flow[ei^1] -= delta
+					excess[u] -= delta
+					excess[ed.To] += delta
+					e.WriteArray(flowArr, ei)
+					e.WriteArray(flowArr, ei^1)
+					e.WriteArray(excessArr, u)
+					e.WriteArray(excessArr, ed.To)
+					pushes++
+					if ed.To != g.Source && ed.To != g.Sink && !inQueue[ed.To] {
+						activated = append(activated, ed.To)
+						inQueue[ed.To] = true
+					}
+				} else {
+					arc[u]++
+				}
+				e.Compute(opTime)
+			}
+			e.Unlock(graphLock)
+
+			e.Lock(queueLock)
+			queue = append(queue, activated...)
+			inProgress--
+			e.Unlock(queueLock)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Flow: excess[g.Sink], Makespan: makespan, Pushes: pushes, Relabels: relabels}, nil
+}
+
+// Reference computes the maximum flow with Edmonds-Karp on a private copy,
+// for verification.
+func Reference(g *Graph) int64 {
+	flow := make([]int64, len(g.Edges))
+	var total int64
+	for {
+		// BFS for a shortest augmenting path.
+		parent := make([]int, g.N) // edge index into each node, -1 unset
+		for i := range parent {
+			parent[i] = -1
+		}
+		qu := []int{g.Source}
+		found := false
+		for len(qu) > 0 && !found {
+			u := qu[0]
+			qu = qu[1:]
+			for _, ei := range g.Adj[u] {
+				ed := g.Edges[ei]
+				if ed.Cap-flow[ei] > 0 && parent[ed.To] == -1 && ed.To != g.Source {
+					parent[ed.To] = ei
+					if ed.To == g.Sink {
+						found = true
+						break
+					}
+					qu = append(qu, ed.To)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Bottleneck.
+		var aug int64 = 1 << 62
+		for v := g.Sink; v != g.Source; {
+			ei := parent[v]
+			if r := g.Edges[ei].Cap - flow[ei]; r < aug {
+				aug = r
+			}
+			v = g.Edges[ei^1].To
+		}
+		for v := g.Sink; v != g.Source; {
+			ei := parent[v]
+			flow[ei] += aug
+			flow[ei^1] -= aug
+			v = g.Edges[ei^1].To
+		}
+		total += aug
+	}
+}

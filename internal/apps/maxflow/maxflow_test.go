@@ -1,0 +1,115 @@
+package maxflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commchar/internal/spasm"
+)
+
+func TestTinyHandGraph(t *testing.T) {
+	// s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (5).
+	g := &Graph{N: 4, Adj: make([][]int, 4), Source: 0, Sink: 3}
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 5)
+	if f := Reference(g); f != 5 {
+		t.Fatalf("reference flow = %d, want 5", f)
+	}
+	m := spasm.NewDefault(2)
+	res, err := Run(m, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("push-relabel flow = %d, want 5", res.Flow)
+	}
+}
+
+func TestGeneratedGraphMatchesReference(t *testing.T) {
+	g := Generate(Config{Layers: 6, Width: 6, RngSeed: 11})
+	want := Reference(g)
+	if want <= 0 {
+		t.Fatalf("degenerate test graph (flow %d)", want)
+	}
+	m := spasm.NewDefault(8)
+	res, err := Run(m, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != want {
+		t.Fatalf("flow = %d, want %d", res.Flow, want)
+	}
+	if res.Pushes == 0 {
+		t.Fatal("no pushes recorded")
+	}
+}
+
+func TestMatchesReferenceProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := Generate(Config{Layers: 4, Width: 4, RngSeed: seed})
+		m := spasm.NewDefault(4)
+		res, err := Run(m, g, 0)
+		if err != nil {
+			return false
+		}
+		return res.Flow == Reference(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentOfProcessorCount(t *testing.T) {
+	g := Generate(Config{Layers: 5, Width: 5, RngSeed: 12})
+	want := Reference(g)
+	for _, procs := range []int{1, 4, 16} {
+		m := spasm.NewDefault(procs)
+		res, err := Run(m, g, 0)
+		if err != nil {
+			t.Fatalf("%d procs: %v", procs, err)
+		}
+		if res.Flow != want {
+			t.Fatalf("%d procs: flow %d, want %d", procs, res.Flow, want)
+		}
+	}
+}
+
+func TestLockTrafficDominates(t *testing.T) {
+	g := Generate(Config{Layers: 6, Width: 6, RngSeed: 13})
+	m := spasm.NewDefault(8)
+	_, err := Run(m, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Net.Delivered() == 0 {
+		t.Fatal("no traffic")
+	}
+	// Lock homes (processors 0 and 1 for locks 0 and 1) must be traffic
+	// concentration points.
+	recv := make([]int, 8)
+	for _, d := range m.Net.Log() {
+		recv[d.Dst]++
+	}
+	hot := recv[0] + recv[1]
+	rest := 0
+	for i := 2; i < 8; i++ {
+		rest += recv[i]
+	}
+	if hot*3 < rest {
+		t.Fatalf("lock homes received %d vs others %d: expected hot-spot pattern", hot, rest)
+	}
+	if err := m.Mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsTinyGraph(t *testing.T) {
+	g := &Graph{N: 2, Adj: make([][]int, 2), Source: 0, Sink: 1}
+	m := spasm.NewDefault(2)
+	if _, err := Run(m, g, 0); err == nil {
+		t.Fatal("tiny graph accepted")
+	}
+}

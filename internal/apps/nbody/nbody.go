@@ -1,0 +1,189 @@
+// Package nbody implements the paper's Nbody application [17]: bodies
+// moving under mutual gravitation, with a static allocation of bodies to
+// processors and three phases per simulated time step — force computation
+// (reading every body's position: the communication phase), position
+// update (local writes), and a global-diagnostic reduction at processor 0.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+)
+
+// Config sizes the problem.
+type Config struct {
+	Bodies  int
+	Steps   int
+	DT      float64
+	Soft    float64 // softening length to avoid singularities
+	OpTime  sim.Duration
+	RngSeed uint64
+}
+
+// DefaultConfig returns the benchmark problem.
+func DefaultConfig() Config {
+	return Config{Bodies: 256, Steps: 2, DT: 1e-3, Soft: 1e-2, OpTime: 30 * sim.Nanosecond, RngSeed: 0xB0D7}
+}
+
+// Body is one particle's state.
+type Body struct {
+	Mass       float64
+	Pos, Vel   [3]float64
+	forceAccum [3]float64
+}
+
+// InitialBodies generates the deterministic initial condition.
+func InitialBodies(cfg Config) []Body {
+	st := sim.NewStream(cfg.RngSeed)
+	bodies := make([]Body, cfg.Bodies)
+	for i := range bodies {
+		bodies[i].Mass = 0.5 + st.Float64()
+		for d := 0; d < 3; d++ {
+			bodies[i].Pos[d] = st.Float64()*2 - 1
+			bodies[i].Vel[d] = (st.Float64()*2 - 1) * 0.1
+		}
+	}
+	return bodies
+}
+
+// Result carries the final state.
+type Result struct {
+	Bodies   []Body
+	Makespan sim.Time
+}
+
+// Run executes the simulation on the machine.
+func Run(m *spasm.Machine, cfg Config) (*Result, error) {
+	n := cfg.Bodies
+	p := m.Config().Processors
+	if n < p || n%p != 0 {
+		return nil, fmt.Errorf("nbody: %d bodies must divide %d processors", n, p)
+	}
+	if cfg.OpTime <= 0 {
+		cfg.OpTime = DefaultConfig().OpTime
+	}
+
+	bodies := InitialBodies(cfg)
+	posArr := m.NewArray(n, 24) // one 3-vector per body
+	velArr := m.NewArray(n, 24)
+	massArr := m.NewArray(n, 8)
+	diagArr := m.NewArray(p, 8) // per-processor kinetic energy
+
+	diag := make([]float64, p)
+	var totalKE float64
+	per := n / p
+	const diagLock = 0
+
+	makespan, err := m.Run(func(e *spasm.Env) {
+		id := e.ID()
+		lo, hi := id*per, (id+1)*per
+
+		// One-time: everyone reads all masses.
+		for j := 0; j < n; j++ {
+			e.ReadArray(massArr, j)
+		}
+		e.Barrier()
+
+		for step := 0; step < cfg.Steps; step++ {
+			// Phase 1: forces on owned bodies, reading every position.
+			for i := lo; i < hi; i++ {
+				var f [3]float64
+				for j := 0; j < n; j++ {
+					e.ReadArray(posArr, j)
+					if j == i {
+						continue
+					}
+					var dr [3]float64
+					var r2 float64
+					for d := 0; d < 3; d++ {
+						dr[d] = bodies[j].Pos[d] - bodies[i].Pos[d]
+						r2 += dr[d] * dr[d]
+					}
+					r2 += cfg.Soft * cfg.Soft
+					inv := bodies[j].Mass / (r2 * math.Sqrt(r2))
+					for d := 0; d < 3; d++ {
+						f[d] += dr[d] * inv
+					}
+					e.Compute(cfg.OpTime)
+				}
+				bodies[i].forceAccum = f
+			}
+			e.Barrier()
+
+			// Phase 2: update owned bodies.
+			var ke float64
+			for i := lo; i < hi; i++ {
+				for d := 0; d < 3; d++ {
+					bodies[i].Vel[d] += bodies[i].forceAccum[d] * cfg.DT
+					bodies[i].Pos[d] += bodies[i].Vel[d] * cfg.DT
+					ke += 0.5 * bodies[i].Mass * bodies[i].Vel[d] * bodies[i].Vel[d]
+				}
+				e.ReadArray(velArr, i)
+				e.WriteArray(velArr, i)
+				e.WriteArray(posArr, i)
+				e.Compute(cfg.OpTime * 3)
+			}
+			diag[id] = ke
+			e.WriteArray(diagArr, id)
+			e.Barrier()
+
+			// Phase 3: processor 0 reduces the diagnostic.
+			if id == 0 {
+				e.Lock(diagLock)
+				var sum float64
+				for q := 0; q < p; q++ {
+					e.ReadArray(diagArr, q)
+					sum += diag[q]
+					e.Compute(cfg.OpTime)
+				}
+				totalKE = sum
+				e.Unlock(diagLock)
+			}
+			e.Barrier()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = totalKE
+	return &Result{Bodies: bodies, Makespan: makespan}, nil
+}
+
+// Reference runs the identical physics sequentially, for verification. The
+// arithmetic order matches Run exactly, so results agree bit-for-bit.
+func Reference(cfg Config) []Body {
+	n := cfg.Bodies
+	bodies := InitialBodies(cfg)
+	for step := 0; step < cfg.Steps; step++ {
+		for i := 0; i < n; i++ {
+			var f [3]float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				var dr [3]float64
+				var r2 float64
+				for d := 0; d < 3; d++ {
+					dr[d] = bodies[j].Pos[d] - bodies[i].Pos[d]
+					r2 += dr[d] * dr[d]
+				}
+				r2 += cfg.Soft * cfg.Soft
+				inv := bodies[j].Mass / (r2 * math.Sqrt(r2))
+				for d := 0; d < 3; d++ {
+					f[d] += dr[d] * inv
+				}
+			}
+			bodies[i].forceAccum = f
+		}
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				bodies[i].Vel[d] += bodies[i].forceAccum[d] * cfg.DT
+				bodies[i].Pos[d] += bodies[i].Vel[d] * cfg.DT
+			}
+		}
+	}
+	return bodies
+}

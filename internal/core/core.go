@@ -1,0 +1,256 @@
+// Package core implements the paper's contribution: the communication
+// characterization methodology. It takes the network log produced by either
+// acquisition strategy — dynamic (execution-driven, spasm+ccnuma) or static
+// (trace-driven, mp+sp2 replayed through the mesh) — and quantifies the
+// three communication attributes:
+//
+//   - temporal: the message inter-arrival time distribution at each source,
+//     fitted by non-linear regression over candidate families (stats);
+//   - spatial: the distribution of each source's messages over
+//     destinations, classified as uniform / bimodal-uniform / structured;
+//   - volume: message counts and the message-length spectrum.
+//
+// The result is a Characterization: the closed-form description of the
+// application's communication workload that the paper proposes feeding into
+// analytical and simulation studies of interconnection networks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"commchar/internal/mesh"
+	"commchar/internal/mp"
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+	"commchar/internal/stats"
+	"commchar/internal/trace"
+)
+
+// Strategy names the acquisition path, as in the paper.
+type Strategy string
+
+const (
+	// StrategyDynamic is execution-driven simulation (SPASM-style).
+	StrategyDynamic Strategy = "dynamic"
+	// StrategyStatic is trace-driven replay (SP2-style).
+	StrategyStatic Strategy = "static"
+)
+
+// SourceTemporal is the temporal characterization of one source processor.
+type SourceTemporal struct {
+	Src     int
+	Samples int
+	Summary stats.Summary        // of inter-arrival times, in ns
+	Fits    []stats.CandidateFit // best-first
+}
+
+// Best returns the winning fit, or nil if the source had too few messages.
+func (s *SourceTemporal) Best() *stats.CandidateFit {
+	if len(s.Fits) == 0 {
+		return nil
+	}
+	return &s.Fits[0]
+}
+
+// Characterization is the complete communication characterization of one
+// application run.
+type Characterization struct {
+	Name     string
+	Strategy Strategy
+	Procs    int
+
+	Messages   int
+	TotalBytes int64
+	Elapsed    sim.Time
+
+	// Temporal attribute.
+	PerSource []SourceTemporal
+	Aggregate SourceTemporal // pooled over sources (Src = -1)
+
+	// Spatial attribute.
+	Spatial []stats.SpatialDist
+
+	// Volume attribute.
+	Volume stats.LengthProfile
+
+	// Network-level metrics of the run (used by the synthetic-traffic
+	// validation experiment).
+	MeanLatencyNS   float64
+	MeanBlockedNS   float64
+	MeanHops        float64
+	MeanUtilization float64
+
+	// Log retains the raw deliveries for downstream analysis.
+	Log []mesh.Delivery
+}
+
+// minSourceSamples is the fewest inter-arrival samples worth fitting.
+const minSourceSamples = 8
+
+// Analyze characterizes a network log. procs is the machine size; elapsed
+// the simulated run time; meanUtil the network's mean link utilization.
+func Analyze(name string, strategy Strategy, log []mesh.Delivery, procs int, elapsed sim.Time, meanUtil float64) (*Characterization, error) {
+	if len(log) == 0 {
+		return nil, errors.New("core: empty network log")
+	}
+	if procs < 2 {
+		return nil, fmt.Errorf("core: %d processors", procs)
+	}
+	sorted := append([]mesh.Delivery(nil), log...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Inject != sorted[j].Inject {
+			return sorted[i].Inject < sorted[j].Inject
+		}
+		return sorted[i].Message.ID < sorted[j].Message.ID
+	})
+
+	c := &Characterization{
+		Name:            name,
+		Strategy:        strategy,
+		Procs:           procs,
+		Messages:        len(sorted),
+		Elapsed:         elapsed,
+		MeanUtilization: meanUtil,
+		Log:             sorted,
+	}
+
+	// Per-source event streams.
+	bySource := make([][]sim.Time, procs)
+	counts := make([][]int, procs)
+	for i := range counts {
+		counts[i] = make([]int, procs)
+	}
+	lengths := make([]int, 0, len(sorted))
+	var latSum, blkSum, hopSum float64
+	for _, d := range sorted {
+		if d.Src < 0 || d.Src >= procs || d.Dst < 0 || d.Dst >= procs {
+			return nil, fmt.Errorf("core: delivery %d endpoints %d->%d outside %d processors",
+				d.Message.ID, d.Src, d.Dst, procs)
+		}
+		bySource[d.Src] = append(bySource[d.Src], d.Inject)
+		counts[d.Src][d.Dst]++
+		lengths = append(lengths, d.Bytes)
+		c.TotalBytes += int64(d.Bytes)
+		latSum += float64(d.Latency)
+		blkSum += float64(d.Blocked)
+		hopSum += float64(d.Hops)
+	}
+	n := float64(len(sorted))
+	c.MeanLatencyNS = latSum / n
+	c.MeanBlockedNS = blkSum / n
+	c.MeanHops = hopSum / n
+
+	// Temporal: per-source inter-arrival fits plus the pooled aggregate.
+	var pooled []float64
+	for src := 0; src < procs; src++ {
+		gaps := interarrivals(bySource[src])
+		pooled = append(pooled, gaps...)
+		st := SourceTemporal{Src: src, Samples: len(gaps), Summary: stats.Summarize(gaps)}
+		if len(gaps) >= minSourceSamples {
+			if fits, err := stats.FitInterarrival(gaps); err == nil {
+				st.Fits = fits
+			}
+		}
+		c.PerSource = append(c.PerSource, st)
+	}
+	c.Aggregate = SourceTemporal{Src: -1, Samples: len(pooled), Summary: stats.Summarize(pooled)}
+	if len(pooled) >= minSourceSamples {
+		fits, err := stats.FitInterarrival(pooled)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregate fit: %w", err)
+		}
+		c.Aggregate.Fits = fits
+	}
+
+	// Spatial and volume.
+	c.Spatial = stats.AggregateSpatial(counts)
+	c.Volume = stats.AnalyzeLengths(lengths)
+	return c, nil
+}
+
+// interarrivals returns successive positive gaps between injection times.
+// Zero gaps (same-cycle injections) are kept: they are genuine bursts, and
+// the fitting layer handles point masses.
+func interarrivals(times []sim.Time) []float64 {
+	if len(times) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out = append(out, float64(times[i]-times[i-1]))
+	}
+	return out
+}
+
+// BestAggregate returns the aggregate winning fit, or nil.
+func (c *Characterization) BestAggregate() *stats.CandidateFit {
+	return c.Aggregate.Best()
+}
+
+// DominantSpatial returns the most common spatial pattern across sources
+// and the number of sources exhibiting it.
+func (c *Characterization) DominantSpatial() (stats.SpatialPattern, int) {
+	counts := map[stats.SpatialPattern]int{}
+	for _, s := range c.Spatial {
+		if s.Total > 0 {
+			counts[s.Pattern]++
+		}
+	}
+	var best stats.SpatialPattern
+	bestN := -1
+	for p, n := range counts {
+		if n > bestN {
+			best, bestN = p, n
+		}
+	}
+	if bestN < 0 {
+		return stats.SpatialGeneral, 0
+	}
+	return best, bestN
+}
+
+// CharacterizeSharedMemory runs a shared-memory application under the
+// dynamic strategy: build the machine, execute the kernel, characterize
+// the network log.
+func CharacterizeSharedMemory(name string, procs int, run func(m *spasm.Machine) error) (*Characterization, error) {
+	m := spasm.NewDefault(procs)
+	if err := run(m); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return Analyze(name, StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
+}
+
+// CharacterizeMessagePassing runs a message-passing application under the
+// static strategy: execute natively on the SP2-like machine to obtain the
+// application-level trace, replay the trace through the mesh with the SP2
+// software-overhead model, and characterize the resulting log.
+func CharacterizeMessagePassing(name string, procs int, cost trace.CostModel, run func(w *mp.World) error) (*Characterization, error) {
+	w := mp.NewWorld(mp.DefaultConfig(procs))
+	if err := run(w); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	s := sim.New()
+	net := mesh.New(s, MeshFor(procs))
+	if err := trace.Replay(s, net, tr, cost); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	s.Run()
+	return Analyze(name, StrategyStatic, net.Log(), procs, s.Now(), net.MeanUtilization())
+}
+
+// MeshFor returns the reproduction's standard mesh geometry for n
+// processors: the smallest default mesh at most four columns wide.
+func MeshFor(n int) mesh.Config {
+	w, h := n, 1
+	if n > 4 {
+		w = 4
+		h = (n + 3) / 4
+	}
+	return mesh.DefaultConfig(w, h)
+}

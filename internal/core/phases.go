@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+)
+
+// Phase is one communication phase of an application: a maximal stretch of
+// the run without a long global silence. Phase-structured codes (the NAS
+// kernels especially) are better described per phase than whole-run, a
+// point the paper makes for the message-passing applications.
+type Phase struct {
+	Index      int
+	Start, End sim.Time
+	// Characterization of the phase's traffic alone.
+	C *Characterization
+}
+
+// DefaultPhaseGapFactor declares a new phase when the global inter-message
+// gap exceeds this multiple of the median gap.
+const DefaultPhaseGapFactor = 20.0
+
+// SplitPhases segments the run at global injection gaps larger than
+// gapFactor times the median gap, characterizes each segment with at least
+// minMessages messages independently, and returns the phases in time
+// order. Segments too small to characterize are dropped (reported in the
+// phase indexes skipping).
+func (c *Characterization) SplitPhases(gapFactor float64, minMessages int) ([]Phase, error) {
+	if len(c.Log) == 0 {
+		return nil, fmt.Errorf("core: no traffic to split")
+	}
+	if gapFactor <= 1 {
+		gapFactor = DefaultPhaseGapFactor
+	}
+	if minMessages < minSourceSamples+1 {
+		minMessages = minSourceSamples + 1
+	}
+
+	// Global injection-time sequence (log is already injection-sorted).
+	times := make([]sim.Time, len(c.Log))
+	for i, d := range c.Log {
+		times[i] = d.Inject
+	}
+	gaps := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, float64(times[i]-times[i-1]))
+	}
+	if len(gaps) == 0 {
+		return nil, fmt.Errorf("core: single message cannot be split")
+	}
+	base := median(gaps)
+	if base <= 0 {
+		// Heavily bursty traffic (median gap zero): scale off the mean
+		// gap instead, or fragment at every burst boundary.
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		base = sum / float64(len(gaps))
+	}
+	threshold := base * gapFactor
+	if threshold <= 0 {
+		threshold = gapFactor
+	}
+
+	// Cut points.
+	var segments [][]mesh.Delivery
+	start := 0
+	for i := 1; i < len(c.Log); i++ {
+		if float64(c.Log[i].Inject-c.Log[i-1].Inject) > threshold {
+			segments = append(segments, c.Log[start:i])
+			start = i
+		}
+	}
+	segments = append(segments, c.Log[start:])
+
+	var phases []Phase
+	for idx, seg := range segments {
+		if len(seg) < minMessages {
+			continue
+		}
+		first, last := seg[0].Inject, seg[len(seg)-1].End
+		pc, err := Analyze(fmt.Sprintf("%s/phase%d", c.Name, idx), c.Strategy,
+			seg, c.Procs, last, 0)
+		if err != nil {
+			continue
+		}
+		phases = append(phases, Phase{Index: idx, Start: first, End: last, C: pc})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("core: no phase had %d+ messages", minMessages)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
+	return phases, nil
+}
+
+// Burst is one raw traffic segment (no minimum-size filter): the
+// segmentation underlying SplitPhases, exposed for burst-cadence analyses.
+type Burst struct {
+	Start    sim.Time
+	Messages int
+}
+
+// Bursts segments the log at global injection gaps larger than gapFactor
+// times the median (or mean, for zero-median) gap and returns every
+// segment, however small.
+func (c *Characterization) Bursts(gapFactor float64) []Burst {
+	if len(c.Log) == 0 {
+		return nil
+	}
+	if gapFactor <= 1 {
+		gapFactor = DefaultPhaseGapFactor
+	}
+	gaps := make([]float64, 0, len(c.Log)-1)
+	for i := 1; i < len(c.Log); i++ {
+		gaps = append(gaps, float64(c.Log[i].Inject-c.Log[i-1].Inject))
+	}
+	if len(gaps) == 0 {
+		return []Burst{{Start: c.Log[0].Inject, Messages: 1}}
+	}
+	base := median(gaps)
+	if base <= 0 {
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		base = sum / float64(len(gaps))
+	}
+	threshold := base * gapFactor
+	if threshold <= 0 {
+		threshold = gapFactor
+	}
+	var out []Burst
+	cur := Burst{Start: c.Log[0].Inject, Messages: 1}
+	for i := 1; i < len(c.Log); i++ {
+		if float64(c.Log[i].Inject-c.Log[i-1].Inject) > threshold {
+			out = append(out, cur)
+			cur = Burst{Start: c.Log[i].Inject}
+		}
+		cur.Messages++
+	}
+	return append(out, cur)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,419 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (as reconstructed in DESIGN.md), plus the ablations.
+// The same entry points back both the `experiments` command and the
+// benchmark harness in bench_test.go, so "go test -bench" reproduces the
+// paper end to end.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"commchar/internal/apps"
+	"commchar/internal/core"
+	"commchar/internal/mesh"
+	"commchar/internal/report"
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+	"commchar/internal/workload"
+
+	"commchar/internal/apps/fft1d"
+	appis "commchar/internal/apps/is"
+)
+
+// Runner caches characterizations so tables and figures drawing on the same
+// application run it only once.
+type Runner struct {
+	Scale apps.Scale
+	cache map[string]*core.Characterization
+}
+
+// NewRunner returns a runner at the given scale.
+func NewRunner(scale apps.Scale) *Runner {
+	return &Runner{Scale: scale, cache: map[string]*core.Characterization{}}
+}
+
+func (r *Runner) characterize(name string, procs int) (*core.Characterization, error) {
+	key := fmt.Sprintf("%s/%d", name, procs)
+	if c, ok := r.cache[key]; ok {
+		return c, nil
+	}
+	w, err := apps.ByName(r.Scale, name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := w.Characterize(procs)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = c
+	return c, nil
+}
+
+func (r *Runner) characterizeAll(names []string, procs int) ([]*core.Characterization, error) {
+	var out []*core.Characterization
+	for _, n := range names {
+		c, err := r.characterize(n, procs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", n, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+var (
+	sharedNames = []string{"1D-FFT", "IS", "Cholesky", "Nbody", "Maxflow"}
+	mpNames     = []string{"3D-FFT", "MG"}
+)
+
+// Table1 prints the application-suite summary: the paper's workload table.
+func (r *Runner) Table1(w io.Writer, procs int) error {
+	cs, err := r.characterizeAll(append(append([]string{}, sharedNames...), mpNames...), procs)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Table 1: application suite (%d processors)", procs),
+		Columns: []string{"Application", "Strategy", "Messages", "TotalKB", "SimTime(ms)", "MeanLatency(ns)"},
+	}
+	for _, c := range cs {
+		t.AddRow(c.Name, string(c.Strategy),
+			fmt.Sprintf("%d", c.Messages),
+			fmt.Sprintf("%.1f", float64(c.TotalBytes)/1024),
+			fmt.Sprintf("%.3f", float64(c.Elapsed)/1e6),
+			fmt.Sprintf("%.0f", c.MeanLatencyNS))
+	}
+	t.Render(w)
+	return nil
+}
+
+// Table2 prints the shared-memory inter-arrival fits: the headline result.
+func (r *Runner) Table2(w io.Writer, procs int) error {
+	cs, err := r.characterizeAll(sharedNames, procs)
+	if err != nil {
+		return err
+	}
+	report.TemporalTable(
+		fmt.Sprintf("Table 2: message inter-arrival time fits, shared memory (dynamic strategy, %d processors)", procs),
+		cs).Render(w)
+	return nil
+}
+
+// Table3 prints the message-passing inter-arrival fits.
+func (r *Runner) Table3(w io.Writer, procs int) error {
+	cs, err := r.characterizeAll(mpNames, procs)
+	if err != nil {
+		return err
+	}
+	report.TemporalTable(
+		fmt.Sprintf("Table 3: message inter-arrival time fits, message passing (static strategy, %d processors)", procs),
+		cs).Render(w)
+	return nil
+}
+
+// Table4 prints the volume attribute for every application.
+func (r *Runner) Table4(w io.Writer, procs int) error {
+	cs, err := r.characterizeAll(append(append([]string{}, sharedNames...), mpNames...), procs)
+	if err != nil {
+		return err
+	}
+	report.VolumeTable(
+		fmt.Sprintf("Table 4: message volume characteristics (%d processors)", procs), cs).Render(w)
+	report.SpatialTable(
+		fmt.Sprintf("Table 4b: spatial classification (%d processors)", procs), cs).Render(w)
+	return nil
+}
+
+// FigureInterarrivalSM renders the empirical-vs-fitted inter-arrival CDF
+// for every shared-memory application.
+func (r *Runner) FigureInterarrivalSM(w io.Writer, procs int) error {
+	cs, err := r.characterizeAll(sharedNames, procs)
+	if err != nil {
+		return err
+	}
+	for _, c := range cs {
+		best := c.BestAggregate()
+		if best == nil {
+			continue
+		}
+		samples := aggregateGaps(c)
+		report.CDFOverlay(w,
+			fmt.Sprintf("Figure: %s inter-arrival CDF, measured vs %s (R²=%.4f)", c.Name, best.Dist, best.R2),
+			samples, best.Dist, 16, 40)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// aggregateGaps recomputes the pooled inter-arrival sample from the log.
+func aggregateGaps(c *core.Characterization) []float64 {
+	times := make([][]sim.Time, c.Procs)
+	for _, d := range c.Log {
+		times[d.Src] = append(times[d.Src], d.Inject)
+	}
+	var out []float64
+	for _, ts := range times {
+		for i := 1; i < len(ts); i++ {
+			out = append(out, float64(ts[i]-ts[i-1]))
+		}
+	}
+	return out
+}
+
+// FigureSpatialSM renders the per-source spatial figures (p0 and p1, 8
+// processors, as in the paper) for the shared-memory applications.
+func (r *Runner) FigureSpatialSM(w io.Writer) error {
+	cs, err := r.characterizeAll(sharedNames, 8)
+	if err != nil {
+		return err
+	}
+	for _, c := range cs {
+		fmt.Fprintf(w, "--- %s ---\n", c.Name)
+		report.SpatialFigure(w, c, 0, 40)
+		report.SpatialFigure(w, c, 1, 40)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FigureSpatialMP renders the spatial figures for the message-passing
+// applications (the 3D-FFT broadcast-root favorite, MG nearest-neighbour).
+func (r *Runner) FigureSpatialMP(w io.Writer) error {
+	cs, err := r.characterizeAll(mpNames, 8)
+	if err != nil {
+		return err
+	}
+	for _, c := range cs {
+		fmt.Fprintf(w, "--- %s ---\n", c.Name)
+		report.SpatialFigure(w, c, 0, 40)
+		report.SpatialFigure(w, c, 1, 40)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FigureVolumeMP renders the message-volume distributions for the
+// message-passing applications.
+func (r *Runner) FigureVolumeMP(w io.Writer) error {
+	cs, err := r.characterizeAll(mpNames, 8)
+	if err != nil {
+		return err
+	}
+	for _, c := range cs {
+		report.VolumeFigure(w, c, 40)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FigureSyntheticValidation regenerates traffic from the fitted models of
+// 1D-FFT and IS and compares network metrics against the original runs —
+// the methodology's payoff experiment.
+func (r *Runner) FigureSyntheticValidation(w io.Writer, procs int) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure: synthetic-traffic validation (%d processors)", procs),
+		Columns: []string{"Application", "Metric", "Original", "Synthetic", "RelErr"},
+	}
+	for _, name := range []string{"1D-FFT", "IS"} {
+		c, err := r.characterize(name, procs)
+		if err != nil {
+			return err
+		}
+		v, err := workload.Validate(c, 0xC0FFEE)
+		if err != nil {
+			return fmt.Errorf("experiments: validate %s: %w", name, err)
+		}
+		t.AddRow(name, "msg rate (msg/us)",
+			fmt.Sprintf("%.4f", v.Original.MessageRate),
+			fmt.Sprintf("%.4f", v.Synthetic.MessageRate),
+			fmt.Sprintf("%.3f", v.RateErr))
+		t.AddRow("", "mean latency (ns)",
+			fmt.Sprintf("%.0f", v.Original.MeanLatencyNS),
+			fmt.Sprintf("%.0f", v.Synthetic.MeanLatencyNS),
+			fmt.Sprintf("%.3f", v.LatencyErr))
+		t.AddRow("", "mean link util",
+			fmt.Sprintf("%.4f", v.Original.MeanUtilization),
+			fmt.Sprintf("%.4f", v.Synthetic.MeanUtilization),
+			fmt.Sprintf("%.3f", v.UtilErr))
+	}
+	t.Render(w)
+	return nil
+}
+
+// AblationContention runs IS on the standard mesh and on a
+// contention-free (very fast) mesh and compares blocking and the fitted
+// temporal model: how much the network itself shapes the "workload".
+func (r *Runner) AblationContention(w io.Writer, procs int) error {
+	run := func(cycle sim.Duration) (*core.Characterization, error) {
+		cfg := spasm.DefaultConfig(procs)
+		cfg.Mesh.CycleTime = cycle
+		m := spasm.New(cfg)
+		icfg := appis.DefaultConfig()
+		icfg.Keys, icfg.MaxKey = smallOrFull(r.Scale, 8192, 65536), smallOrFull(r.Scale, 256, 1024)
+		if _, err := appis.Run(m, icfg); err != nil {
+			return nil, err
+		}
+		return core.Analyze("IS", core.StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
+	}
+	slow, err := run(25 * sim.Nanosecond)
+	if err != nil {
+		return err
+	}
+	fast, err := run(1 * sim.Nanosecond)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Ablation: mesh contention effect on IS (%d processors)", procs),
+		Columns: []string{"Mesh", "Messages", "MeanLatency(ns)", "MeanBlocked(ns)", "MeanGap(us)", "BestFit", "R2"},
+	}
+	for _, row := range []struct {
+		label string
+		c     *core.Characterization
+	}{{"25ns/flit (standard)", slow}, {"1ns/flit (near-zero contention)", fast}} {
+		name, _, r2 := report.FitRow(row.c.BestAggregate())
+		t.AddRow(row.label,
+			fmt.Sprintf("%d", row.c.Messages),
+			fmt.Sprintf("%.0f", row.c.MeanLatencyNS),
+			fmt.Sprintf("%.0f", row.c.MeanBlockedNS),
+			fmt.Sprintf("%.2f", row.c.Aggregate.Summary.Mean/1000),
+			name, r2)
+	}
+	t.Render(w)
+	return nil
+}
+
+func smallOrFull(s apps.Scale, small, full int) int {
+	if s == apps.ScaleFull {
+		return full
+	}
+	return small
+}
+
+// AblationVirtualChannels drives hot-spot synthetic traffic through the
+// mesh with 1 and 4 virtual channels (cf. Kumar & Bhuyan [20]) and
+// compares latency and blocking.
+func (r *Runner) AblationVirtualChannels(w io.Writer) error {
+	run := func(vcs int) (workload.Metrics, error) {
+		s := sim.New()
+		cfg := mesh.DefaultConfig(4, 4)
+		cfg.VirtualChannels = vcs
+		net := mesh.New(s, cfg)
+		st := sim.NewStream(0x7C)
+		// 30% hot-spot to node 0, remainder uniform, bursty arrivals.
+		for src := 1; src < 16; src++ {
+			t := sim.Time(0)
+			for i := 0; i < 400; i++ {
+				t += sim.Time(st.Exponential(2000)) + 1
+				dst := 0
+				if st.Float64() > 0.3 {
+					dst = st.IntN(16)
+					if dst == src {
+						dst = (dst + 1) % 16
+					}
+				}
+				if dst == src {
+					continue
+				}
+				net.Inject(mesh.Message{
+					ID: net.NextID(), Src: src, Dst: dst,
+					Bytes: 40, Inject: t,
+				}, nil)
+			}
+		}
+		s.Run()
+		return workload.MeasureLog(net.Log(), s.Now(), net.MeanUtilization()), nil
+	}
+	t := &report.Table{
+		Title:   "Ablation: virtual channels under 30% hot-spot traffic (16 nodes)",
+		Columns: []string{"VCs", "Messages", "MeanLatency(ns)", "MeanBlocked(ns)", "MeanUtil"},
+	}
+	for _, vcs := range []int{1, 2, 4} {
+		m, err := run(vcs)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%d", vcs),
+			fmt.Sprintf("%d", m.Messages),
+			fmt.Sprintf("%.0f", m.MeanLatencyNS),
+			fmt.Sprintf("%.0f", m.MeanBlockedNS),
+			fmt.Sprintf("%.4f", m.MeanUtilization))
+	}
+	t.Render(w)
+	return nil
+}
+
+// AblationCacheGeometry reruns 1D-FFT with different cache sizes and shows
+// how cache capacity changes the message generation rate — the coupling
+// between memory-system and network workload.
+func (r *Runner) AblationCacheGeometry(w io.Writer, procs int) error {
+	run := func(cacheBytes int) (*core.Characterization, error) {
+		cfg := spasm.DefaultConfig(procs)
+		cfg.Memory.CacheBytes = cacheBytes
+		m := spasm.New(cfg)
+		fcfg := fft1d.DefaultConfig()
+		fcfg.Points = smallOrFull(r.Scale, 4096, 16384)
+		if _, err := fft1d.Run(m, fcfg); err != nil {
+			return nil, err
+		}
+		return core.Analyze("1D-FFT", core.StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Ablation: cache size effect on 1D-FFT message generation (%d processors)", procs),
+		Columns: []string{"Cache", "Messages", "MsgRate(msg/us)", "MeanGap(us)", "BestFit"},
+	}
+	for _, kb := range []int{8, 64, 512} {
+		c, err := run(kb << 10)
+		if err != nil {
+			return err
+		}
+		name, _, _ := report.FitRow(c.BestAggregate())
+		rate := float64(c.Messages) / (float64(c.Elapsed) / 1000)
+		t.AddRow(fmt.Sprintf("%dKB", kb),
+			fmt.Sprintf("%d", c.Messages),
+			fmt.Sprintf("%.3f", rate),
+			fmt.Sprintf("%.2f", c.Aggregate.Summary.Mean/1000),
+			name)
+	}
+	t.Render(w)
+	return nil
+}
+
+// All regenerates every table, figure, and ablation in order.
+func (r *Runner) All(w io.Writer, procs int) error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Table 1", func() error { return r.Table1(w, procs) }},
+		{"Table 2", func() error { return r.Table2(w, procs) }},
+		{"Table 3", func() error { return r.Table3(w, procs) }},
+		{"Table 4", func() error { return r.Table4(w, procs) }},
+		{"Table 5", func() error { return r.Table5(w, procs) }},
+		{"Table 6", func() error { return r.Table6(w, procs) }},
+		{"Table 7", func() error { return r.Table7(w, procs) }},
+		{"Figure: inter-arrival CDFs", func() error { return r.FigureInterarrivalSM(w, procs) }},
+		{"Figure: spatial (shared memory)", func() error { return r.FigureSpatialSM(w) }},
+		{"Figure: spatial (message passing)", func() error { return r.FigureSpatialMP(w) }},
+		{"Figure: volume (message passing)", func() error { return r.FigureVolumeMP(w) }},
+		{"Figure: generation rate over time", func() error { return r.FigureRateOverTime(w, procs) }},
+		{"Figure: synthetic validation", func() error { return r.FigureSyntheticValidation(w, procs) }},
+		{"Figure: latency vs offered load", func() error { return r.FigureLatencyLoad(w, procs) }},
+		{"Figure: analytic model validation", func() error { return r.FigureAnalyticModel(w, procs) }},
+		{"Ablation: contention", func() error { return r.AblationContention(w, procs) }},
+		{"Ablation: virtual channels", func() error { return r.AblationVirtualChannels(w) }},
+		{"Ablation: cache geometry", func() error { return r.AblationCacheGeometry(w, procs) }},
+		{"Ablation: barrier algorithm", func() error { return r.AblationBarrier(w, procs) }},
+		{"Ablation: topology", func() error { return r.AblationTopology(w) }},
+		{"Ablation: coherence protocol", func() error { return r.AblationProtocol(w, procs) }},
+		{"Ablation: routing algorithm", func() error { return r.AblationRouting(w, procs) }},
+	}
+	for _, s := range steps {
+		fmt.Fprintf(w, "\n================ %s ================\n", s.name)
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

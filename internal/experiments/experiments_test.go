@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"commchar/internal/apps"
+)
+
+func TestAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	r := NewRunner(apps.ScaleSmall)
+	var sb strings.Builder
+	if err := r.All(&sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1: application suite",
+		"Table 2: message inter-arrival time fits, shared memory",
+		"Table 3: message inter-arrival time fits, message passing",
+		"Table 4: message volume characteristics",
+		"inter-arrival CDF, measured vs",
+		"Message Distribution for p0",
+		"synthetic-traffic validation",
+		"Table 5: locality and burstiness",
+		"Message generation rate over time",
+		"latency vs offered load",
+		"analytic M/G/1 model vs simulation",
+		"Ablation: mesh contention",
+		"Ablation: virtual channels",
+		"Ablation: cache size",
+		"Ablation: barrier algorithm",
+		"Ablation: topology",
+		"Table 6: per-phase inter-arrival fits",
+		"Table 7: execution-time profiles",
+		"Ablation: coherence protocol",
+		"Ablation: routing algorithm",
+		"1D-FFT", "IS", "Cholesky", "Nbody", "Maxflow", "3D-FFT", "MG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q", want)
+		}
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(apps.ScaleSmall)
+	a, err := r.characterize("Nbody", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.characterize("Nbody", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("characterization not cached")
+	}
+	c, err := r.characterize("Nbody", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different processor counts share a cache entry")
+	}
+}
+
+func TestAblationVirtualChannelsImproves(t *testing.T) {
+	r := NewRunner(apps.ScaleSmall)
+	var sb strings.Builder
+	if err := r.AblationVirtualChannels(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "VCs") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

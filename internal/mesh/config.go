@@ -1,0 +1,176 @@
+// Package mesh implements the common network substrate of the paper: a
+// wormhole-routed 2-D mesh with dimension-order (XY) routing, per-link FCFS
+// arbitration, optional virtual channels, and a complete network log.
+//
+// Both workload acquisition strategies (execution-driven shared memory and
+// trace-driven message passing) inject their messages here, exactly as in
+// the paper, so that the characterization is performed on one common
+// interconnect. The simulator records, for every message, its source,
+// destination, length, injection time, network latency, and time lost to
+// contention, plus per-link utilization.
+package mesh
+
+import (
+	"fmt"
+
+	"commchar/internal/sim"
+)
+
+// Topology selects the wiring of the 2-D fabric.
+type Topology int
+
+const (
+	// MeshTopology is the paper's 2-D mesh: no wraparound links.
+	MeshTopology Topology = iota
+	// TorusTopology adds wraparound links in both dimensions. XY routing
+	// on a torus requires VirtualChannels >= 2 to stay deadlock-free; the
+	// constructor enforces that.
+	TorusTopology
+	// HypercubeTopology is a binary d-cube with e-cube (dimension-order)
+	// routing, the other wormhole fabric prominent in the paper's era
+	// (cf. [4], [23]). Set Config.Dimensions; Width/Height are ignored.
+	HypercubeTopology
+)
+
+func (t Topology) String() string {
+	switch t {
+	case MeshTopology:
+		return "mesh"
+	case TorusTopology:
+		return "torus"
+	case HypercubeTopology:
+		return "hypercube"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Config describes the network. The zero value is not usable; call
+// DefaultConfig and adjust.
+// RoutingAlgorithm selects how the head flit picks its path.
+type RoutingAlgorithm int
+
+const (
+	// RoutingDimensionOrder is deterministic XY (grid) or e-cube
+	// (hypercube) routing: the paper's configuration.
+	RoutingDimensionOrder RoutingAlgorithm = iota
+	// RoutingWestFirst is the minimal adaptive turn-model router for
+	// meshes: all westward hops are taken first, after which the head
+	// adaptively picks the least-loaded productive direction. Deadlock-
+	// free by the turn-model argument; mesh topology only.
+	RoutingWestFirst
+)
+
+func (r RoutingAlgorithm) String() string {
+	switch r {
+	case RoutingDimensionOrder:
+		return "dimension-order"
+	case RoutingWestFirst:
+		return "west-first"
+	default:
+		return fmt.Sprintf("RoutingAlgorithm(%d)", int(r))
+	}
+}
+
+type Config struct {
+	Width, Height int      // routers per dimension (grid topologies)
+	Topology      Topology // mesh (default), torus, or hypercube
+	Dimensions    int      // cube dimensions (hypercube topology only)
+	Routing       RoutingAlgorithm
+
+	FlitBytes   int          // bytes carried per flit
+	HeaderFlits int          // flits of routing/header overhead per message
+	CycleTime   sim.Duration // time for one flit to cross one link
+	RouterDelay int          // extra cycles of routing decision per hop
+
+	// VirtualChannels is the number of lanes multiplexed on each physical
+	// link. 1 models plain wormhole (the paper's configuration). Values
+	// above 1 reduce head-of-line blocking; each lane is modeled with full
+	// link bandwidth, which is optimistic but preserves the qualitative
+	// contention-reduction effect studied in [20].
+	VirtualChannels int
+
+	// LocalDelay is the latency charged to a message whose source and
+	// destination coincide (it never enters the fabric).
+	LocalDelay sim.Duration
+}
+
+// DefaultConfig returns the configuration used throughout the reproduction:
+// a 40 MHz wormhole mesh with 8-byte flits and single-cycle routers.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width:           width,
+		Height:          height,
+		Topology:        MeshTopology,
+		FlitBytes:       8,
+		HeaderFlits:     1,
+		CycleTime:       25 * sim.Nanosecond, // 40 MHz
+		RouterDelay:     1,
+		VirtualChannels: 1,
+		LocalDelay:      25 * sim.Nanosecond,
+	}
+}
+
+// HypercubeConfig returns the standard configuration for a binary d-cube.
+func HypercubeConfig(dimensions int) Config {
+	cfg := DefaultConfig(1, 1)
+	cfg.Topology = HypercubeTopology
+	cfg.Dimensions = dimensions
+	return cfg
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Topology == HypercubeTopology {
+		if c.Dimensions < 1 || c.Dimensions > 20 {
+			return fmt.Errorf("mesh: hypercube dimensions %d invalid", c.Dimensions)
+		}
+	} else if c.Width < 1 || c.Height < 1 {
+		return fmt.Errorf("mesh: dimensions %dx%d invalid", c.Width, c.Height)
+	}
+	switch {
+	case c.FlitBytes < 1:
+		return fmt.Errorf("mesh: flit size %d invalid", c.FlitBytes)
+	case c.HeaderFlits < 0:
+		return fmt.Errorf("mesh: header flits %d invalid", c.HeaderFlits)
+	case c.CycleTime < 1:
+		return fmt.Errorf("mesh: cycle time %d invalid", c.CycleTime)
+	case c.RouterDelay < 0:
+		return fmt.Errorf("mesh: router delay %d invalid", c.RouterDelay)
+	case c.VirtualChannels < 1:
+		return fmt.Errorf("mesh: virtual channels %d invalid", c.VirtualChannels)
+	case c.Topology == TorusTopology && c.VirtualChannels < 2:
+		return fmt.Errorf("mesh: torus requires >= 2 virtual channels for deadlock freedom")
+	case c.Routing == RoutingWestFirst && c.Topology != MeshTopology:
+		return fmt.Errorf("mesh: west-first routing is defined for the mesh topology only")
+	}
+	return nil
+}
+
+// Nodes returns the number of routers (and attached processors).
+func (c Config) Nodes() int {
+	if c.Topology == HypercubeTopology {
+		return 1 << c.Dimensions
+	}
+	return c.Width * c.Height
+}
+
+// Flits returns the number of flits a message of the given byte length
+// occupies, including header flits.
+func (c Config) Flits(bytes int) int {
+	payload := (bytes + c.FlitBytes - 1) / c.FlitBytes
+	if payload < 1 {
+		payload = 1
+	}
+	return payload + c.HeaderFlits
+}
+
+// Coord converts a node index into (x, y) mesh coordinates.
+func (c Config) Coord(node int) (x, y int) {
+	return node % c.Width, node / c.Width
+}
+
+// NodeAt converts (x, y) mesh coordinates into a node index.
+func (c Config) NodeAt(x, y int) int {
+	return y*c.Width + x
+}

@@ -1,0 +1,120 @@
+package mesh
+
+import "commchar/internal/sim"
+
+// direction indexes the four outgoing physical links of a router.
+type direction int
+
+const (
+	dirEast  direction = iota // +X
+	dirWest                   // -X
+	dirNorth                  // +Y
+	dirSouth                  // -Y
+	numDirections
+)
+
+// anyLane requests whichever virtual channel is free first.
+const anyLane = -1
+
+// link is one directed physical channel between adjacent routers, carrying
+// Config.VirtualChannels lanes. Arbitration is a single FCFS queue; a
+// waiter may demand a specific lane (torus dateline classes) or any lane.
+type link struct {
+	id    int
+	from  int
+	to    int
+	lanes []laneState
+	queue []*linkWaiter
+
+	// Statistics.
+	grants       int64
+	busyLaneTime sim.Duration
+	flits        int64
+}
+
+type laneState struct {
+	busy      bool
+	busySince sim.Time
+}
+
+type linkWaiter struct {
+	p       *sim.Process
+	lane    int // anyLane or a specific lane index
+	arrived sim.Time
+	granted int // lane granted, set by release path
+}
+
+// acquire obtains a lane on the link for process p, blocking FCFS.
+// It returns the lane index granted and the time spent waiting.
+func (l *link) acquire(p *sim.Process, lane int, now func() sim.Time) (int, sim.Duration) {
+	if got := l.tryGrant(lane, now()); got >= 0 {
+		return got, 0
+	}
+	w := &linkWaiter{p: p, lane: lane, arrived: now(), granted: -1}
+	l.queue = append(l.queue, w)
+	p.Suspend()
+	return w.granted, sim.Duration(now() - w.arrived)
+}
+
+// tryGrant grants a lane immediately if one matching the request is free.
+func (l *link) tryGrant(lane int, now sim.Time) int {
+	if lane == anyLane {
+		for i := range l.lanes {
+			if !l.lanes[i].busy {
+				l.grantLane(i, now)
+				return i
+			}
+		}
+		return -1
+	}
+	if !l.lanes[lane].busy {
+		l.grantLane(lane, now)
+		return lane
+	}
+	return -1
+}
+
+func (l *link) grantLane(i int, now sim.Time) {
+	l.lanes[i].busy = true
+	l.lanes[i].busySince = now
+	l.grants++
+}
+
+// release frees lane i and hands it to the first compatible waiter. It may
+// be called from kernel context (scheduled drain events) or from a process.
+func (l *link) release(i int, now sim.Time) {
+	if !l.lanes[i].busy {
+		panic("mesh: releasing idle lane")
+	}
+	l.busyLaneTime += sim.Duration(now - l.lanes[i].busySince)
+	l.lanes[i].busy = false
+	for qi, w := range l.queue {
+		if w.lane == anyLane || w.lane == i {
+			l.queue = append(l.queue[:qi], l.queue[qi+1:]...)
+			l.grantLane(i, now)
+			w.granted = i
+			sim.WakerFor(w.p).Wake()
+			return
+		}
+	}
+}
+
+// load is the adaptive router's congestion estimate for this link: busy
+// lanes plus queued worms.
+func (l *link) load() int {
+	busy := 0
+	for _, lane := range l.lanes {
+		if lane.busy {
+			busy++
+		}
+	}
+	return busy + len(l.queue)
+}
+
+// LinkStat is the per-physical-link utilization record exposed in reports.
+type LinkStat struct {
+	From, To    int
+	Grants      int64
+	Flits       int64
+	Utilization float64 // busy lane-time / (lanes × elapsed)
+}

@@ -1,0 +1,434 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"commchar/internal/sim"
+)
+
+// Message is the unit of network traffic: the paper's
+// (source, destination, length, injection time) record.
+type Message struct {
+	ID    int64
+	Src   int
+	Dst   int
+	Bytes int
+	// Inject is the absolute time the message is handed to the source's
+	// network interface. It must not precede the simulator's current time.
+	Inject sim.Time
+}
+
+// Delivery is the network log record produced for every message, from which
+// all three communication attributes are characterized.
+type Delivery struct {
+	Message
+	End     sim.Time     // tail flit delivered at the destination
+	Latency sim.Duration // End - Inject
+	Blocked sim.Duration // time the head spent waiting on busy channels
+	Hops    int          // physical links traversed
+}
+
+// hop is one step of a precomputed route: which link, and on which lane
+// class (torus dateline discipline) the worm must travel.
+type hop struct {
+	link *link
+	lane int
+}
+
+// Network is the wormhole-routed fabric (2-D mesh, torus, or hypercube).
+type Network struct {
+	sim    *sim.Simulator
+	cfg    Config
+	links  [][]*link // indexed [node][port]; grid ports are directions, cube ports are dimensions
+	nextID int64
+
+	log       []Delivery
+	inFlight  int
+	onIdle    []func()
+	delivered int64
+}
+
+// New builds the network on the given simulator. It panics on an invalid
+// configuration: network construction errors are programming errors in this
+// codebase, not runtime conditions.
+func New(s *sim.Simulator, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{sim: s, cfg: cfg}
+	n.links = make([][]*link, cfg.Nodes())
+	id := 0
+	mkLink := func(from, to int) *link {
+		l := &link{
+			id:    id,
+			from:  from,
+			to:    to,
+			lanes: make([]laneState, cfg.VirtualChannels),
+		}
+		id++
+		return l
+	}
+	if cfg.Topology == HypercubeTopology {
+		for node := 0; node < cfg.Nodes(); node++ {
+			ports := make([]*link, cfg.Dimensions)
+			for d := 0; d < cfg.Dimensions; d++ {
+				ports[d] = mkLink(node, node^(1<<d))
+			}
+			n.links[node] = ports
+		}
+		return n
+	}
+	for node := 0; node < cfg.Nodes(); node++ {
+		x, y := cfg.Coord(node)
+		ports := make([]*link, numDirections)
+		mk := func(dir direction, nx, ny int) {
+			if nx < 0 || nx >= cfg.Width || ny < 0 || ny >= cfg.Height {
+				if cfg.Topology != TorusTopology {
+					return
+				}
+				nx = (nx + cfg.Width) % cfg.Width
+				ny = (ny + cfg.Height) % cfg.Height
+			}
+			ports[dir] = mkLink(node, cfg.NodeAt(nx, ny))
+		}
+		mk(dirEast, x+1, y)
+		mk(dirWest, x-1, y)
+		mk(dirNorth, x, y+1)
+		mk(dirSouth, x, y-1)
+		n.links[node] = ports
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NextID allocates a fresh message ID. Callers may also assign their own.
+func (n *Network) NextID() int64 {
+	n.nextID++
+	return n.nextID
+}
+
+// route computes the dimension-order path from src to dst: XY on a grid
+// (with dateline virtual-channel classes on a torus), e-cube on a
+// hypercube.
+func (n *Network) route(src, dst int) []hop {
+	cfg := n.cfg
+	if cfg.Topology == HypercubeTopology {
+		var path []hop
+		cur := src
+		for d := 0; d < cfg.Dimensions; d++ {
+			if (cur^dst)&(1<<d) != 0 {
+				path = append(path, hop{link: n.links[cur][d], lane: anyLane})
+				cur ^= 1 << d
+			}
+		}
+		return path
+	}
+	x, y := cfg.Coord(src)
+	dx, dy := cfg.Coord(dst)
+	var path []hop
+
+	step := func(cur, target, size int, pos, neg direction) (int, direction, bool) {
+		if cur == target {
+			return 0, pos, false
+		}
+		if cfg.Topology == TorusTopology {
+			fwd := (target - cur + size) % size
+			if fwd <= size-fwd && fwd != 0 {
+				return fwd, pos, true
+			}
+			return size - fwd, neg, true
+		}
+		if target > cur {
+			return target - cur, pos, true
+		}
+		return cur - target, neg, true
+	}
+
+	walk := func(fromX, fromY int, horizontal bool) (int, int) {
+		cx, cy := fromX, fromY
+		var dist int
+		var dir direction
+		var move bool
+		if horizontal {
+			dist, dir, move = step(cx, dx, cfg.Width, dirEast, dirWest)
+		} else {
+			dist, dir, move = step(cy, dy, cfg.Height, dirNorth, dirSouth)
+		}
+		if !move {
+			return cx, cy
+		}
+		lane := 0
+		if cfg.Topology == MeshTopology {
+			lane = anyLane
+		}
+		for i := 0; i < dist; i++ {
+			node := cfg.NodeAt(cx, cy)
+			l := n.links[node][dir]
+			if l == nil {
+				panic(fmt.Sprintf("mesh: no %d link at node %d", dir, node))
+			}
+			path = append(path, hop{link: l, lane: lane})
+			nx, ny := cfg.Coord(l.to)
+			// Crossing the dateline (a wraparound hop) switches the
+			// virtual-channel class on a torus.
+			if cfg.Topology == TorusTopology {
+				if (dir == dirEast && nx < cx) || (dir == dirWest && nx > cx) ||
+					(dir == dirNorth && ny < cy) || (dir == dirSouth && ny > cy) {
+					lane = 1
+				}
+			}
+			cx, cy = nx, ny
+		}
+		return cx, cy
+	}
+
+	cx, cy := walk(x, y, true) // X first
+	cx, cy = walk(cx, cy, false)
+	if cfg.NodeAt(cx, cy) != dst {
+		panic(fmt.Sprintf("mesh: route %d->%d ended at %d", src, dst, cfg.NodeAt(cx, cy)))
+	}
+	return path
+}
+
+// Hops returns the XY route length in physical links between two nodes.
+func (n *Network) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return len(n.route(src, dst))
+}
+
+// Path returns the dimension-order route between two nodes as (from, to)
+// link endpoints, for analytical models that need per-link flow rates.
+func (n *Network) Path(src, dst int) [][2]int {
+	if src == dst {
+		return nil
+	}
+	path := n.route(src, dst)
+	out := make([][2]int, len(path))
+	for i, h := range path {
+		out[i] = [2]int{h.link.from, h.link.to}
+	}
+	return out
+}
+
+// Inject hands a message to the network. done, if non-nil, is invoked (in
+// kernel context) when the tail flit reaches the destination. Inject may be
+// called before the simulator runs or at any point during the run, as long
+// as m.Inject is not in the simulated past.
+func (n *Network) Inject(m Message, done func(Delivery)) {
+	if m.Src < 0 || m.Src >= n.cfg.Nodes() || m.Dst < 0 || m.Dst >= n.cfg.Nodes() {
+		panic(fmt.Sprintf("mesh: message %d has endpoints %d->%d outside %d-node fabric",
+			m.ID, m.Src, m.Dst, n.cfg.Nodes()))
+	}
+	if m.Bytes <= 0 {
+		panic(fmt.Sprintf("mesh: message %d has length %d", m.ID, m.Bytes))
+	}
+	if m.Inject < n.sim.Now() {
+		panic(fmt.Sprintf("mesh: message %d injected at %d, before now %d", m.ID, m.Inject, n.sim.Now()))
+	}
+	n.inFlight++
+	n.sim.SpawnAt(m.Inject, fmt.Sprintf("msg%d", m.ID), func(p *sim.Process) {
+		n.deliver(p, m, done)
+	})
+}
+
+// deliver is the wormhole worm: the process that walks the message's head
+// across the fabric, holding the channels the worm occupies and releasing
+// each channel once the tail has passed it. The head's next hop comes from
+// the configured router: a precomputed dimension-order path, or per-hop
+// west-first adaptive selection.
+func (n *Network) deliver(p *sim.Process, m Message, done func(Delivery)) {
+	cfg := n.cfg
+	if m.Src == m.Dst {
+		p.Hold(cfg.LocalDelay)
+		n.complete(m, 0, 0, done)
+		return
+	}
+
+	var nextHop func(cur int) hop
+	if cfg.Routing == RoutingWestFirst {
+		nextHop = func(cur int) hop {
+			return hop{link: n.chooseWestFirst(cur, m.Dst), lane: anyLane}
+		}
+	} else {
+		path := n.route(m.Src, m.Dst)
+		i := 0
+		nextHop = func(int) hop {
+			h := path[i]
+			i++
+			return h
+		}
+	}
+
+	flits := cfg.Flits(m.Bytes)
+	hopTime := cfg.CycleTime * sim.Duration(1+cfg.RouterDelay)
+	var blocked sim.Duration
+
+	var acquired []hop // hops taken, in order
+	var held []int     // lane per acquired hop; -1 after release
+	cur := m.Src
+	for cur != m.Dst {
+		h := nextHop(cur)
+		lane, waited := h.link.acquire(p, h.lane, p.Now)
+		blocked += waited
+		acquired = append(acquired, h)
+		held = append(held, lane)
+		p.Hold(hopTime) // head crosses the link
+		h.link.flits += int64(flits)
+		// With single-flit buffers the tail crosses link i when the head
+		// has crossed link i+flits-1; free that channel for other worms.
+		if back := len(acquired) - 1 - (flits - 1); back >= 0 {
+			acquired[back].link.release(held[back], p.Now())
+			held[back] = -1
+		}
+		cur = h.link.to
+	}
+	// Head is at the destination; the remaining flits stream in one per
+	// cycle, and trailing channels drain in pipeline order.
+	drain := sim.Duration(flits-1) * cfg.CycleTime
+	end := p.Now() + sim.Time(drain)
+	for i, lane := range held {
+		if lane < 0 {
+			continue
+		}
+		tailPass := end - sim.Time(len(acquired)-1-i)*sim.Time(cfg.CycleTime)
+		if tailPass < p.Now() {
+			tailPass = p.Now()
+		}
+		li, la := acquired[i].link, lane
+		n.sim.At(tailPass, func() { li.release(la, n.sim.Now()) })
+	}
+	p.Hold(drain)
+	n.complete(m, blocked, len(acquired), done)
+}
+
+// chooseWestFirst returns the next link under minimal west-first adaptive
+// routing: mandatory westward hops first, then the least-loaded productive
+// direction among east/north/south.
+func (n *Network) chooseWestFirst(cur, dst int) *link {
+	cfg := n.cfg
+	cx, cy := cfg.Coord(cur)
+	dx, dy := cfg.Coord(dst)
+	ports := n.links[cur]
+	if dx < cx {
+		return ports[dirWest]
+	}
+	var candidates []*link
+	if dx > cx {
+		candidates = append(candidates, ports[dirEast])
+	}
+	if dy > cy {
+		candidates = append(candidates, ports[dirNorth])
+	} else if dy < cy {
+		candidates = append(candidates, ports[dirSouth])
+	}
+	best := candidates[0]
+	for _, l := range candidates[1:] {
+		if l.load() < best.load() {
+			best = l
+		}
+	}
+	return best
+}
+
+func (n *Network) complete(m Message, blocked sim.Duration, hops int, done func(Delivery)) {
+	d := Delivery{
+		Message: m,
+		End:     n.sim.Now(),
+		Latency: sim.Duration(n.sim.Now() - m.Inject),
+		Blocked: blocked,
+		Hops:    hops,
+	}
+	n.log = append(n.log, d)
+	n.delivered++
+	n.inFlight--
+	if done != nil {
+		done(d)
+	}
+	if n.inFlight == 0 {
+		cbs := n.onIdle
+		n.onIdle = nil
+		for _, cb := range cbs {
+			cb()
+		}
+	}
+}
+
+// InFlight reports the number of injected but undelivered messages.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Delivered reports the number of completed messages.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// WhenIdle registers a callback invoked when the last in-flight message
+// completes. If the network is already idle the callback runs immediately.
+func (n *Network) WhenIdle(fn func()) {
+	if n.inFlight == 0 {
+		fn()
+		return
+	}
+	n.onIdle = append(n.onIdle, fn)
+}
+
+// Log returns the deliveries recorded so far, sorted by injection time
+// (ties broken by message ID). The returned slice is a copy.
+func (n *Network) Log() []Delivery {
+	out := make([]Delivery, len(n.log))
+	copy(out, n.log)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inject != out[j].Inject {
+			return out[i].Inject < out[j].Inject
+		}
+		return out[i].Message.ID < out[j].Message.ID
+	})
+	return out
+}
+
+// LinkStats returns utilization records for every physical link, ordered by
+// (from, to). Elapsed time is the simulator's current clock.
+func (n *Network) LinkStats() []LinkStat {
+	elapsed := n.sim.Now()
+	var out []LinkStat
+	for _, ports := range n.links {
+		for _, l := range ports {
+			if l == nil {
+				continue
+			}
+			busy := l.busyLaneTime
+			for _, lane := range l.lanes {
+				if lane.busy {
+					busy += sim.Duration(elapsed - lane.busySince)
+				}
+			}
+			u := 0.0
+			if elapsed > 0 {
+				u = float64(busy) / (float64(elapsed) * float64(len(l.lanes)))
+			}
+			out = append(out, LinkStat{From: l.from, To: l.to, Grants: l.grants, Flits: l.flits, Utilization: u})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// MeanUtilization returns the average utilization across all links.
+func (n *Network) MeanUtilization() float64 {
+	stats := n.LinkStats()
+	if len(stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range stats {
+		sum += s.Utilization
+	}
+	return sum / float64(len(stats))
+}

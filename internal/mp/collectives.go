@@ -1,0 +1,122 @@
+package mp
+
+// Collectives are built from point-to-point operations, as the early MPI
+// implementations on the SP2 built them. Broadcast and reduce are linear
+// and root-centric — which is what makes the root the "favorite processor"
+// in the paper's 3D-FFT spatial distributions. Internal tags live in the
+// negative tag space so they can never collide with application tags; each
+// collective instance draws a fresh block from the rank's collective
+// counter (legal because SPMD ranks execute collectives in identical
+// order).
+
+// collectiveTagBase reserves the negative tag space for collectives.
+const collectiveTagBase = -1 << 20
+
+// nextCollectiveTag returns the base tag for this rank's next collective.
+// Offsets 0..15 within the block distinguish phases of one collective.
+func (r *Rank) nextCollectiveTag() int {
+	t := collectiveTagBase - r.collective*16
+	r.collective++
+	return t
+}
+
+// Barrier blocks until every rank has entered it. It is implemented as a
+// linear gather-release through rank 0.
+func (r *Rank) Barrier() {
+	tag := r.nextCollectiveTag()
+	const signal = 4 // bytes of a control message
+	if r.id == 0 {
+		for src := 1; src < r.Size(); src++ {
+			r.Recv(src, tag)
+		}
+		for dst := 1; dst < r.Size(); dst++ {
+			r.Send(dst, tag-1, signal, nil)
+		}
+		return
+	}
+	r.Send(0, tag, signal, nil)
+	r.Recv(0, tag-1)
+}
+
+// Bcast distributes data (bytes long) from root to every rank and returns
+// it. Non-root callers pass nil data.
+func (r *Rank) Bcast(root, bytes int, data any) any {
+	tag := r.nextCollectiveTag()
+	if r.id == root {
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst != root {
+				r.Send(dst, tag, bytes, data)
+			}
+		}
+		return data
+	}
+	_, payload := r.Recv(root, tag)
+	return payload
+}
+
+// Gather collects every rank's contribution at root, returning a slice
+// indexed by rank at the root and nil elsewhere.
+func (r *Rank) Gather(root, bytes int, data any) []any {
+	tag := r.nextCollectiveTag()
+	if r.id == root {
+		out := make([]any, r.Size())
+		out[root] = data
+		for src := 0; src < r.Size(); src++ {
+			if src == root {
+				continue
+			}
+			_, payload := r.Recv(src, tag)
+			out[src] = payload
+		}
+		return out
+	}
+	r.Send(root, tag, bytes, data)
+	return nil
+}
+
+// Reduce folds every rank's value into one at root using combine, returning
+// the result at root and nil elsewhere. combine must be associative.
+func (r *Rank) Reduce(root, bytes int, val any, combine func(a, b any) any) any {
+	tag := r.nextCollectiveTag()
+	if r.id == root {
+		acc := val
+		for src := 0; src < r.Size(); src++ {
+			if src == root {
+				continue
+			}
+			_, payload := r.Recv(src, tag)
+			acc = combine(acc, payload)
+		}
+		return acc
+	}
+	r.Send(root, tag, bytes, val)
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast of the result.
+func (r *Rank) Allreduce(bytes int, val any, combine func(a, b any) any) any {
+	acc := r.Reduce(0, bytes, val, combine)
+	return r.Bcast(0, bytes, acc)
+}
+
+// Alltoall performs a personalized all-to-all exchange: chunks[j] goes to
+// rank j (bytesPer each), and the returned slice holds the chunk received
+// from every rank (the local chunk passes through untouched). The exchange
+// is pairwise-phased so no rank is a hot spot.
+func (r *Rank) Alltoall(bytesPer int, chunks []any) []any {
+	if len(chunks) != r.Size() {
+		panic("mp: Alltoall needs one chunk per rank")
+	}
+	tag := r.nextCollectiveTag()
+	out := make([]any, r.Size())
+	out[r.id] = chunks[r.id]
+	n := r.Size()
+	for phase := 1; phase < n; phase++ {
+		dst := (r.id + phase) % n
+		src := (r.id - phase + n) % n
+		r.Send(dst, tag, bytesPer, chunks[dst])
+		_, payload := r.Recv(src, tag)
+		out[src] = payload
+	}
+	return out
+}

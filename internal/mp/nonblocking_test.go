@@ -1,0 +1,157 @@
+package mp
+
+import (
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func TestIrecvOverlapsCompute(t *testing.T) {
+	// The receiver posts the receive, computes while the message is in
+	// flight, and only then waits: the wait must cost (almost) nothing.
+	w := NewWorld(DefaultConfig(2))
+	var waitCost sim.Duration
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, 64, "x")
+		case 1:
+			req := r.Irecv(0, 0)
+			r.Compute(10_000_000) // far longer than transit
+			t0 := r.Now()
+			req.Wait()
+			waitCost = sim.Duration(r.Now() - t0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the receiver-side software overhead remains at Wait time.
+	max := w.cfg.Cost.RecvOverhead(64) + 1
+	if waitCost > max {
+		t.Fatalf("wait cost %d, want <= %d (overlap failed)", waitCost, max)
+	}
+}
+
+func TestWaitTwicePanics(t *testing.T) {
+	w := NewWorld(DefaultConfig(2))
+	panicked := false
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, 8, nil)
+		case 1:
+			req := r.Irecv(0, 0)
+			req.Wait()
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				req.Wait()
+			}()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("double Wait accepted")
+	}
+}
+
+func TestTestReportsArrival(t *testing.T) {
+	w := NewWorld(DefaultConfig(2))
+	var before, after bool
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(1_000_000)
+			r.Send(1, 0, 8, nil)
+		case 1:
+			req := r.Irecv(0, 0)
+			before = req.Test()
+			r.Compute(50_000_000) // message certainly arrived
+			after = req.Test()
+			req.Wait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before {
+		t.Fatal("Test true before the send was issued")
+	}
+	if !after {
+		t.Fatal("Test false after arrival")
+	}
+}
+
+func TestExchangeRingNoDeadlock(t *testing.T) {
+	const n = 8
+	w := NewWorld(DefaultConfig(n))
+	got := make([]any, n)
+	_, err := w.Run(func(r *Rank) {
+		right := (r.ID() + 1) % n
+		left := (r.ID() - 1 + n) % n
+		_, payload := r.Exchange(right, left, 5, 128, r.ID()*11)
+		got[r.ID()] = payload
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := ((i - 1 + n) % n) * 11
+		if v != want {
+			t.Fatalf("rank %d received %v, want %d", i, v, want)
+		}
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	w := NewWorld(DefaultConfig(3))
+	var payloads []any
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			reqs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+			payloads = WaitAll(reqs...)
+		default:
+			r.Send(0, 0, 16, r.ID()*100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payloads[0] != 100 || payloads[1] != 200 {
+		t.Fatalf("payloads = %v", payloads)
+	}
+}
+
+func TestNonblockingTracesAtWait(t *testing.T) {
+	// Irecv itself must not trace; Wait records the recv event, keeping
+	// traces replayable.
+	w := NewWorld(DefaultConfig(2))
+	var afterIrecv, afterWait int
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, 8, nil)
+		case 1:
+			req := r.Irecv(0, 0)
+			afterIrecv = r.traceEventCount()
+			req.Wait()
+			afterWait = r.traceEventCount()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterIrecv != 0 || afterWait != 1 {
+		t.Fatalf("trace counts: %d after Irecv, %d after Wait", afterIrecv, afterWait)
+	}
+	if err := w.Trace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

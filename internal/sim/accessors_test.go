@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+func TestAccessors(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Fatal("fresh simulator has pending events")
+	}
+	e := s.Schedule(10, func() {})
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	if e.Time() != 10 {
+		t.Fatalf("event time = %d", e.Time())
+	}
+
+	f := NewFacility(s, "srv")
+	if f.Name() != "srv" || f.Busy() || f.QueueLen() != 0 {
+		t.Fatal("fresh facility state wrong")
+	}
+	if u := f.Utilization(); u != 0 {
+		t.Fatalf("utilization at t=0 = %v", u)
+	}
+
+	mb := NewMailbox(s)
+	mb.Put(1)
+	if mb.Len() != 1 {
+		t.Fatalf("mailbox len = %d", mb.Len())
+	}
+
+	var name string
+	p := s.Spawn("worker", func(p *Process) {
+		name = p.Name()
+		if p.Sim() != s {
+			t.Error("process simulator mismatch")
+		}
+		f.Reserve(p)
+		p.Hold(50)
+		f.Release(p)
+	})
+	_ = p
+	s.Run()
+	if name != "worker" {
+		t.Fatalf("process name = %q", name)
+	}
+	// Facility was held 50 of 50 elapsed ticks.
+	if u := f.Utilization(); u != 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestUtilizationWhileHeld(t *testing.T) {
+	s := New()
+	f := NewFacility(s, "f")
+	s.Spawn("p", func(p *Process) {
+		f.Reserve(p)
+		p.Hold(100)
+		// Never released: Utilization must count the open interval.
+	})
+	s.Run()
+	if u := f.Utilization(); u != 1 {
+		t.Fatalf("utilization with open hold = %v", u)
+	}
+}
+
+func TestStreamVariates(t *testing.T) {
+	st := NewStream(3)
+	perm := st.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range perm {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", perm)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if v := st.Uniform(5, 7); v < 5 || v >= 7 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+		if v := st.IntN(3); v < 0 || v > 2 {
+			t.Fatalf("IntN out of range: %v", v)
+		}
+	}
+	// Normal: mean check.
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += st.Normal(10, 2)
+	}
+	if m := sum / n; m < 9.9 || m > 10.1 {
+		t.Fatalf("normal mean = %v", m)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import "fmt"
+
+// Process is a coroutine that lives in simulated time, in the style of a
+// CSIM process. A process runs on its own goroutine but control is handed
+// off explicitly: whenever the process blocks (Hold, Suspend, or a
+// synchronization primitive), the kernel resumes; whenever the kernel fires
+// a resume event, the process continues. Exactly one party runs at a time.
+type Process struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	ended  bool
+}
+
+// Name returns the name given at Spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Process) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.sim.now }
+
+// Spawn creates a process whose body starts executing at the current
+// simulated time (after currently scheduled same-time events).
+func (s *Simulator) Spawn(name string, body func(p *Process)) *Process {
+	return s.SpawnAt(s.now, name, body)
+}
+
+// SpawnAt creates a process whose body starts executing at time t.
+func (s *Simulator) SpawnAt(t Time, name string, body func(p *Process)) *Process {
+	p := &Process{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.live++
+	go func() {
+		<-p.resume // wait for first activation
+		body(p)
+		p.ended = true
+		s.live--
+		p.yield <- struct{}{} // final hand-back to kernel
+	}()
+	s.At(t, func() { p.activate() })
+	return p
+}
+
+// activate transfers control to the process and blocks until it yields.
+// Must only be called from kernel context (inside an event callback).
+func (p *Process) activate() {
+	if p.ended {
+		panic(fmt.Sprintf("sim: activating ended process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block yields control back to the kernel and waits to be activated again.
+// Must only be called from the process's own goroutine.
+func (p *Process) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Hold advances the process's local view of time by d: the process sleeps
+// and resumes at Now()+d.
+func (p *Process) Hold(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q holds negative duration %d", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.sim.Schedule(d, func() { p.activate() })
+	p.block()
+}
+
+// Suspend parks the process until another party calls Wake. The returned
+// Waker is single-use.
+func (p *Process) Suspend() {
+	p.block()
+}
+
+// Waker resumes a suspended process at the current simulated time. It is
+// safe to schedule from kernel context or from another process.
+type Waker struct {
+	p *Process
+}
+
+// WakerFor returns a Waker that, when fired, resumes p from Suspend.
+func WakerFor(p *Process) Waker { return Waker{p: p} }
+
+// Wake schedules the suspended process to resume now (after same-time
+// events already on the calendar).
+func (w Waker) Wake() {
+	w.p.sim.Schedule(0, func() { w.p.activate() })
+}

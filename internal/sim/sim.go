@@ -1,0 +1,161 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel. It plays the role CSIM plays in the paper: simulated
+// time, an event calendar, coroutine-style processes, and facilities
+// (servers with FCFS queues and utilization statistics).
+//
+// The kernel is strictly single-threaded from the simulation's point of
+// view: although processes run on goroutines, exactly one goroutine (either
+// the kernel or one process) executes at any instant, handed off through
+// channel rendezvous. Events at equal times fire in scheduling order, so
+// every run with the same inputs is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time. The kernel assigns no unit; by
+// convention throughout this repository one tick is one nanosecond.
+type Time int64
+
+// Duration is a span of simulated time, in the same ticks as Time.
+type Duration int64
+
+// Common durations, following the one-tick-is-one-nanosecond convention.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       int64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event calendar and the simulation clock.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     int64
+	running bool
+	// live counts spawned processes that have not terminated; it is
+	// bookkeeping only (Run drains the calendar regardless).
+	live int
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending reports the number of events (including cancelled ones not yet
+// reaped) remaining on the calendar.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule arranges for fn to run at Now()+d. A negative delay is an error
+// in the caller; the kernel panics to surface the bug immediately.
+func (s *Simulator) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At(s.now+Time(d), fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not be in the
+// simulated past.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Step fires the next event, advancing the clock. It returns false when the
+// calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty.
+func (s *Simulator) Run() {
+	if s.running {
+		panic("sim: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t (if the
+// simulation had not already advanced past it).
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.queue) > 0 {
+		// Peek without popping: queue[0] is the minimum.
+		if s.queue[0].at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

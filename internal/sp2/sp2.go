@@ -1,0 +1,50 @@
+// Package sp2 models the communication-software cost of the IBM SP2, the
+// machine the paper's static strategy ran on. The paper reports a validated
+// overhead of 4.63e-2·x + 73.42 microseconds to transfer x bytes, obtained
+// from extensive experiments and the data in [24]. This package reproduces
+// that model and splits it between sender and receiver for replay.
+package sp2
+
+import "commchar/internal/sim"
+
+// Published model constants (microseconds).
+const (
+	// PerByteUS is the per-byte software cost in microseconds.
+	PerByteUS = 4.63e-2
+	// FixedUS is the fixed per-message software cost in microseconds.
+	FixedUS = 73.42
+)
+
+// CostModel is the affine software-overhead model o(x) = PerByte·x + Fixed.
+// The SendFraction of the total is charged on the sender before injection;
+// the remainder on the receiver after delivery.
+type CostModel struct {
+	PerByte      float64 // ns per byte
+	Fixed        float64 // ns per message
+	SendFraction float64 // in [0, 1]
+}
+
+// Default returns the paper's validated SP2 model, split evenly between
+// sender and receiver.
+func Default() CostModel {
+	return CostModel{
+		PerByte:      PerByteUS * 1e3, // µs/byte -> ns/byte
+		Fixed:        FixedUS * 1e3,
+		SendFraction: 0.5,
+	}
+}
+
+// Total returns the full software overhead for a message of the given size.
+func (c CostModel) Total(bytes int) sim.Duration {
+	return sim.Duration(c.PerByte*float64(bytes) + c.Fixed)
+}
+
+// SendOverhead implements trace.CostModel.
+func (c CostModel) SendOverhead(bytes int) sim.Duration {
+	return sim.Duration(c.SendFraction * float64(c.Total(bytes)))
+}
+
+// RecvOverhead implements trace.CostModel.
+func (c CostModel) RecvOverhead(bytes int) sim.Duration {
+	return c.Total(bytes) - c.SendOverhead(bytes)
+}

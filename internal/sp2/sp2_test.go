@@ -1,0 +1,60 @@
+package sp2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commchar/internal/sim"
+	"commchar/internal/trace"
+)
+
+func TestPublishedModelValues(t *testing.T) {
+	m := Default()
+	// 0 bytes: fixed cost only, 73.42 µs.
+	if got := m.Total(0); got != sim.Duration(73420) {
+		t.Fatalf("Total(0) = %d ns, want 73420", got)
+	}
+	// 1000 bytes: 46.3 + 73.42 = 119.72 µs.
+	if got := m.Total(1000); got != sim.Duration(119720) {
+		t.Fatalf("Total(1000) = %d ns, want 119720", got)
+	}
+}
+
+func TestSplitSumsToTotalProperty(t *testing.T) {
+	m := Default()
+	prop := func(b uint16) bool {
+		bytes := int(b)
+		return m.SendOverhead(bytes)+m.RecvOverhead(bytes) == m.Total(bytes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneInBytes(t *testing.T) {
+	m := Default()
+	prev := sim.Duration(-1)
+	for b := 0; b < 10000; b += 100 {
+		tot := m.Total(b)
+		if tot <= prev {
+			t.Fatalf("Total not increasing at %d bytes", b)
+		}
+		prev = tot
+	}
+}
+
+func TestImplementsTraceCostModel(t *testing.T) {
+	var _ trace.CostModel = Default()
+}
+
+func TestCustomSendFraction(t *testing.T) {
+	m := Default()
+	m.SendFraction = 1
+	if m.RecvOverhead(100) != 0 {
+		t.Fatal("full send fraction should leave zero recv overhead")
+	}
+	m.SendFraction = 0
+	if m.SendOverhead(100) != 0 {
+		t.Fatal("zero send fraction should leave zero send overhead")
+	}
+}

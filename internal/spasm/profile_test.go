@@ -1,0 +1,101 @@
+package spasm
+
+import (
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func TestProfileAccountsCompute(t *testing.T) {
+	m := NewDefault(2)
+	_, err := m.Run(func(e *Env) {
+		e.Compute(1000)
+		e.Compute(500)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range m.Profiles() {
+		if pr.Compute != 1500 {
+			t.Fatalf("proc %d compute = %d", pr.Proc, pr.Compute)
+		}
+		if pr.Memory != 0 || pr.Sync != 0 {
+			t.Fatalf("unexpected stall time: %+v", pr)
+		}
+		if pr.End != 1500 {
+			t.Fatalf("end = %d", pr.End)
+		}
+	}
+}
+
+func TestProfileAccountsMemoryStalls(t *testing.T) {
+	m := NewDefault(4)
+	arr := m.NewArray(128, 8)
+	_, err := m.Run(func(e *Env) {
+		for i := 0; i < 32; i++ {
+			e.ReadArray(arr, i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range m.Profiles() {
+		if pr.Memory <= 0 {
+			t.Fatalf("proc %d memory time = %d", pr.Proc, pr.Memory)
+		}
+	}
+}
+
+func TestProfileAccountsSyncStalls(t *testing.T) {
+	m := NewDefault(4)
+	_, err := m.Run(func(e *Env) {
+		if e.ID() == 0 {
+			e.Compute(100_000) // everyone else waits at the barrier
+		}
+		e.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := m.Profiles()
+	// Non-zero processors spend essentially the whole run in sync.
+	for _, pr := range profs[1:] {
+		if pr.Sync < 90_000 {
+			t.Fatalf("proc %d sync = %d, want ~100000", pr.Proc, pr.Sync)
+		}
+	}
+	if profs[0].Compute != 100_000 {
+		t.Fatalf("proc 0 compute = %d", profs[0].Compute)
+	}
+}
+
+func TestProfileBusyNeverExceedsEnd(t *testing.T) {
+	m := NewDefault(8)
+	arr := m.NewArray(256, 8)
+	_, err := m.Run(func(e *Env) {
+		st := sim.NewStream(uint64(e.ID()))
+		for i := 0; i < 40; i++ {
+			e.ReadArray(arr, st.IntN(arr.Len()))
+			e.Compute(sim.Duration(st.IntN(500)))
+			if i%10 == 9 {
+				e.Barrier()
+			}
+		}
+		e.Lock(1)
+		e.Compute(100)
+		e.Unlock(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range m.Profiles() {
+		if sim.Time(pr.Busy()) > pr.End {
+			t.Fatalf("proc %d busy %d exceeds end %d", pr.Proc, pr.Busy(), pr.End)
+		}
+		// Everything this kernel does is accounted; slack only from the
+		// spawn epoch, so busy should cover almost all of it.
+		if float64(pr.Busy()) < 0.95*float64(pr.End) {
+			t.Fatalf("proc %d: busy %d vs end %d — unaccounted time", pr.Proc, pr.Busy(), pr.End)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package spasm
+
+import (
+	"fmt"
+
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+)
+
+// Synchronization is message-based, as on a real CC-NUMA without special
+// hardware: barriers gather at and release from processor 0, and each lock
+// lives on a home node that queues requesters. The messages travel the same
+// mesh as coherence traffic, so synchronization shows up in the network log
+// — which is why barrier-heavy applications exhibit processor 0 as a
+// spatial "favorite" in the characterization, as the paper observes.
+
+// syncBytes is the length of a synchronization control message.
+const syncBytes = 8
+
+// barrierState tracks the gather-release protocol across epochs. Counters
+// (not booleans) keep overlapping epochs safe: a processor can be sent its
+// release for barrier k while barrier k+1 arrivals are already in flight.
+type barrierState struct {
+	arrived        int // ARRIVE deliveries seen at processor 0 (linear)
+	waiting0       *sim.Waker
+	pendingRelease []int
+	releaseWaiting map[int]sim.Waker
+
+	// Tree barrier: per-processor child-arrival counters.
+	childArrived  []int
+	arriveWaiting map[int]sim.Waker
+}
+
+// Barrier blocks until all processors have entered it.
+func (e *Env) Barrier() {
+	t0 := e.p.Now()
+	defer func() { e.prof.Sync += sim.Duration(e.p.Now() - t0) }()
+	m := e.m
+	b := &m.bar
+	if b.releaseWaiting == nil {
+		b.releaseWaiting = map[int]sim.Waker{}
+		b.arriveWaiting = map[int]sim.Waker{}
+		b.childArrived = make([]int, m.cfg.Processors)
+	}
+	n := m.cfg.Processors
+	if n == 1 {
+		return
+	}
+	if m.cfg.Barrier == BarrierTree {
+		e.treeBarrier()
+		return
+	}
+
+	if e.id == 0 {
+		// Gather: wait for every other processor's arrival message.
+		for b.arrived < n-1 {
+			w := sim.WakerFor(e.p)
+			b.waiting0 = &w
+			e.p.Suspend()
+		}
+		b.waiting0 = nil
+		b.arrived -= n - 1
+		// Release everyone.
+		for dst := 1; dst < n; dst++ {
+			dst := dst
+			m.send(e.p.Now(), 0, dst, func() {
+				b.pendingRelease[dst]++
+				if w, ok := b.releaseWaiting[dst]; ok {
+					delete(b.releaseWaiting, dst)
+					w.Wake()
+				}
+			})
+		}
+		return
+	}
+
+	// Arrive at processor 0.
+	m.send(e.p.Now(), e.id, 0, func() {
+		b.arrived++
+		if b.waiting0 != nil {
+			w := *b.waiting0
+			b.waiting0 = nil
+			w.Wake()
+		}
+	})
+	// Wait for our release.
+	for b.pendingRelease[e.id] == 0 {
+		b.releaseWaiting[e.id] = sim.WakerFor(e.p)
+		e.p.Suspend()
+	}
+	b.pendingRelease[e.id]--
+}
+
+// treeBarrier implements the gather-release barrier on a binary tree
+// rooted at processor 0: each processor waits for its children, reports to
+// its parent, and relays the release downward.
+func (e *Env) treeBarrier() {
+	m := e.m
+	b := &m.bar
+	n := m.cfg.Processors
+	id := e.id
+	var children []int
+	for _, c := range []int{2*id + 1, 2*id + 2} {
+		if c < n {
+			children = append(children, c)
+		}
+	}
+	parent := (id - 1) / 2
+
+	// Gather: wait for every child's arrival message.
+	for range children {
+		for b.childArrived[id] == 0 {
+			b.arriveWaiting[id] = sim.WakerFor(e.p)
+			e.p.Suspend()
+		}
+		b.childArrived[id]--
+	}
+	if id != 0 {
+		m.send(e.p.Now(), id, parent, func() {
+			b.childArrived[parent]++
+			if w, ok := b.arriveWaiting[parent]; ok {
+				delete(b.arriveWaiting, parent)
+				w.Wake()
+			}
+		})
+		// Wait for the release from the parent.
+		for b.pendingRelease[id] == 0 {
+			b.releaseWaiting[id] = sim.WakerFor(e.p)
+			e.p.Suspend()
+		}
+		b.pendingRelease[id]--
+	}
+	// Relay the release to the children.
+	for _, c := range children {
+		c := c
+		m.send(e.p.Now(), id, c, func() {
+			b.pendingRelease[c]++
+			if w, ok := b.releaseWaiting[c]; ok {
+				delete(b.releaseWaiting, c)
+				w.Wake()
+			}
+		})
+	}
+}
+
+// lockState is one lock's queue at its home node.
+type lockState struct {
+	held    bool
+	holder  int
+	queue   []grantTarget
+	pending map[int]int // processor -> grants not yet consumed
+	waiting map[int]sim.Waker
+}
+
+type grantTarget struct {
+	proc int
+	at   sim.Time
+}
+
+func (m *Machine) lock(id int) *lockState {
+	l, ok := m.locks[id]
+	if !ok {
+		l = &lockState{holder: -1, pending: map[int]int{}, waiting: map[int]sim.Waker{}}
+		m.locks[id] = l
+	}
+	return l
+}
+
+// lockHome maps a lock to its home processor.
+func (m *Machine) lockHome(id int) int {
+	h := id % m.cfg.Processors
+	if h < 0 {
+		h += m.cfg.Processors
+	}
+	return h
+}
+
+// Lock acquires the numbered lock, blocking in arrival (delivery) order.
+func (e *Env) Lock(id int) {
+	t0 := e.p.Now()
+	defer func() { e.prof.Sync += sim.Duration(e.p.Now() - t0) }()
+	m := e.m
+	home := m.lockHome(id)
+	l := m.lock(id)
+
+	// Request travels to the lock's home.
+	m.send(e.p.Now(), e.id, home, func() {
+		if !l.held {
+			l.held = true
+			l.holder = e.id
+			// Grant travels back.
+			m.send(m.Sim.Now(), home, e.id, func() {
+				l.pending[e.id]++
+				if w, ok := l.waiting[e.id]; ok {
+					delete(l.waiting, e.id)
+					w.Wake()
+				}
+			})
+			return
+		}
+		l.queue = append(l.queue, grantTarget{proc: e.id, at: m.Sim.Now()})
+	})
+
+	for l.pending[e.id] == 0 {
+		l.waiting[e.id] = sim.WakerFor(e.p)
+		e.p.Suspend()
+	}
+	l.pending[e.id]--
+}
+
+// Unlock releases the numbered lock. The caller does not wait for the
+// release message to reach the lock's home (release is asynchronous).
+func (e *Env) Unlock(id int) {
+	m := e.m
+	home := m.lockHome(id)
+	l := m.lock(id)
+	if !l.held || l.holder != e.id {
+		panic(fmt.Sprintf("spasm: processor %d unlocks lock %d held by %d", e.id, id, l.holder))
+	}
+	l.holder = -1 // logically released; home processes the message on arrival
+	m.send(e.p.Now(), e.id, home, func() {
+		if len(l.queue) == 0 {
+			l.held = false
+			return
+		}
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.holder = next.proc
+		m.send(m.Sim.Now(), home, next.proc, func() {
+			l.pending[next.proc]++
+			if w, ok := l.waiting[next.proc]; ok {
+				delete(l.waiting, next.proc)
+				w.Wake()
+			}
+		})
+	})
+}
+
+// send injects a synchronization control message and invokes then on
+// delivery. Same-node messages skip the fabric but still pay the local
+// interface delay.
+func (m *Machine) send(at sim.Time, src, dst int, then func()) {
+	if src == dst {
+		m.Sim.At(at+sim.Time(m.cfg.Mesh.LocalDelay), then)
+		return
+	}
+	m.Net.Inject(mesh.Message{
+		ID: m.Net.NextID(), Src: src, Dst: dst, Bytes: syncBytes, Inject: at,
+	}, func(mesh.Delivery) { then() })
+}

@@ -1,0 +1,96 @@
+package spasm
+
+import (
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func treeMachine(n int) *Machine {
+	cfg := DefaultConfig(n)
+	cfg.Barrier = BarrierTree
+	return New(cfg)
+}
+
+func TestTreeBarrierSynchronizes(t *testing.T) {
+	const n = 8
+	m := treeMachine(n)
+	after := make([]sim.Time, n)
+	_, err := m.Run(func(e *Env) {
+		e.Compute(sim.Duration(e.ID()) * 40_000)
+		e.Barrier()
+		after[e.ID()] = e.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowest := sim.Time((n - 1) * 40_000)
+	for i, a := range after {
+		if a < slowest {
+			t.Fatalf("proc %d left tree barrier at %d before slowest entry %d", i, a, slowest)
+		}
+	}
+}
+
+func TestTreeBarrierRepeats(t *testing.T) {
+	const n = 7 // non-power-of-two: uneven tree
+	const rounds = 12
+	m := treeMachine(n)
+	counts := make([]int, n)
+	_, err := m.Run(func(e *Env) {
+		for r := 0; r < rounds; r++ {
+			e.Compute(sim.Duration(1 + (e.ID()*r)%97))
+			e.Barrier()
+			counts[e.ID()]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != rounds {
+			t.Fatalf("proc %d completed %d rounds", i, c)
+		}
+	}
+}
+
+func TestTreeBarrierSpreadsTraffic(t *testing.T) {
+	// Compared with the linear barrier, the tree must reduce the share of
+	// barrier messages terminating at processor 0.
+	share := func(kind BarrierKind) float64 {
+		cfg := DefaultConfig(16)
+		cfg.Barrier = kind
+		m := New(cfg)
+		_, err := m.Run(func(e *Env) {
+			for i := 0; i < 10; i++ {
+				e.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		toZero, total := 0, 0
+		for _, d := range m.Net.Log() {
+			total++
+			if d.Dst == 0 {
+				toZero++
+			}
+		}
+		if total == 0 {
+			t.Fatal("no barrier traffic")
+		}
+		return float64(toZero) / float64(total)
+	}
+	linear := share(BarrierLinear)
+	tree := share(BarrierTree)
+	if tree >= linear/2 {
+		t.Fatalf("tree barrier share to p0 = %v, linear = %v: tree should spread traffic", tree, linear)
+	}
+}
+
+func TestTreeBarrierTwoProcs(t *testing.T) {
+	m := treeMachine(2)
+	if _, err := m.Run(func(e *Env) { e.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+}

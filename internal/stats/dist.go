@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"commchar/internal/sim"
+)
+
+// Distribution is a parametric family instance: the closed-form expression
+// the paper's methodology reduces a communication attribute to. Every
+// distribution can evaluate its CDF (what regression fits), report its
+// parameters (what the tables print), and generate variates (what the
+// synthetic traffic generator consumes).
+type Distribution interface {
+	Name() string
+	Params() map[string]float64
+	CDF(x float64) float64
+	Mean() float64
+	Sample(st *sim.Stream) float64
+	String() string
+}
+
+// ---------------------------------------------------------------- Exponential
+
+// Exponential is the M (Markovian) inter-arrival model: CDF 1 - e^{-λx}.
+type Exponential struct {
+	Rate float64 // λ > 0
+}
+
+func (d Exponential) Name() string               { return "exponential" }
+func (d Exponential) Params() map[string]float64 { return map[string]float64{"lambda": d.Rate} }
+func (d Exponential) Mean() float64              { return 1 / d.Rate }
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-d.Rate*x)
+}
+func (d Exponential) Sample(st *sim.Stream) float64 { return st.Exponential(1 / d.Rate) }
+func (d Exponential) String() string {
+	return fmt.Sprintf("Exponential(lambda=%.6g)", d.Rate)
+}
+
+// ------------------------------------------------------------ Hyperexponential
+
+// HyperExp2 is a two-phase hyperexponential: with probability P an
+// exponential of rate Rate1, otherwise rate Rate2. CV > 1; this is the
+// family the paper fits to bursty, irregular applications.
+type HyperExp2 struct {
+	P     float64 // 0 < P < 1
+	Rate1 float64
+	Rate2 float64
+}
+
+func (d HyperExp2) Name() string { return "hyperexponential" }
+func (d HyperExp2) Params() map[string]float64 {
+	return map[string]float64{"p": d.P, "lambda1": d.Rate1, "lambda2": d.Rate2}
+}
+func (d HyperExp2) Mean() float64 { return d.P/d.Rate1 + (1-d.P)/d.Rate2 }
+func (d HyperExp2) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - d.P*math.Exp(-d.Rate1*x) - (1-d.P)*math.Exp(-d.Rate2*x)
+}
+func (d HyperExp2) Sample(st *sim.Stream) float64 {
+	if st.Float64() < d.P {
+		return st.Exponential(1 / d.Rate1)
+	}
+	return st.Exponential(1 / d.Rate2)
+}
+func (d HyperExp2) String() string {
+	return fmt.Sprintf("HyperExp2(p=%.4g, lambda1=%.6g, lambda2=%.6g)", d.P, d.Rate1, d.Rate2)
+}
+
+// ---------------------------------------------------------------------- Erlang
+
+// Erlang is the k-stage Erlang distribution (sum of k exponentials), the
+// low-variability (CV < 1) counterpart of the hyperexponential.
+type Erlang struct {
+	K    int     // stages, >= 1
+	Rate float64 // per-stage rate
+}
+
+func (d Erlang) Name() string { return "erlang" }
+func (d Erlang) Params() map[string]float64 {
+	return map[string]float64{"k": float64(d.K), "lambda": d.Rate}
+}
+func (d Erlang) Mean() float64 { return float64(d.K) / d.Rate }
+func (d Erlang) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// 1 - sum_{i=0}^{k-1} e^{-λx} (λx)^i / i!
+	lx := d.Rate * x
+	term := 1.0
+	sum := 1.0
+	for i := 1; i < d.K; i++ {
+		term *= lx / float64(i)
+		sum += term
+	}
+	return 1 - math.Exp(-lx)*sum
+}
+func (d Erlang) Sample(st *sim.Stream) float64 {
+	var total float64
+	for i := 0; i < d.K; i++ {
+		total += st.Exponential(1 / d.Rate)
+	}
+	return total
+}
+func (d Erlang) String() string {
+	return fmt.Sprintf("Erlang(k=%d, lambda=%.6g)", d.K, d.Rate)
+}
+
+// --------------------------------------------------------------------- Weibull
+
+// Weibull has CDF 1 - exp(-(x/Scale)^Shape).
+type Weibull struct {
+	Shape float64 // k > 0
+	Scale float64 // λ > 0
+}
+
+func (d Weibull) Name() string { return "weibull" }
+func (d Weibull) Params() map[string]float64 {
+	return map[string]float64{"shape": d.Shape, "scale": d.Scale}
+}
+func (d Weibull) Mean() float64 {
+	return d.Scale * math.Gamma(1+1/d.Shape)
+}
+func (d Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/d.Scale, d.Shape))
+}
+func (d Weibull) Sample(st *sim.Stream) float64 {
+	u := st.Float64()
+	for u == 0 {
+		u = st.Float64()
+	}
+	return d.Scale * math.Pow(-math.Log(1-u), 1/d.Shape)
+}
+func (d Weibull) String() string {
+	return fmt.Sprintf("Weibull(shape=%.4g, scale=%.6g)", d.Shape, d.Scale)
+}
+
+// ------------------------------------------------------------------- Lognormal
+
+// Lognormal: ln X ~ N(Mu, Sigma²).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64 // > 0
+}
+
+func (d Lognormal) Name() string { return "lognormal" }
+func (d Lognormal) Params() map[string]float64 {
+	return map[string]float64{"mu": d.Mu, "sigma": d.Sigma}
+}
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+func (d Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+func (d Lognormal) Sample(st *sim.Stream) float64 {
+	return math.Exp(st.Normal(d.Mu, d.Sigma))
+}
+func (d Lognormal) String() string {
+	return fmt.Sprintf("Lognormal(mu=%.4g, sigma=%.4g)", d.Mu, d.Sigma)
+}
+
+// --------------------------------------------------------------------- Uniform
+
+// Uniform is continuous uniform on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+func (d Uniform) Name() string               { return "uniform" }
+func (d Uniform) Params() map[string]float64 { return map[string]float64{"lo": d.Lo, "hi": d.Hi} }
+func (d Uniform) Mean() float64              { return (d.Lo + d.Hi) / 2 }
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.Lo:
+		return 0
+	case x >= d.Hi:
+		return 1
+	default:
+		return (x - d.Lo) / (d.Hi - d.Lo)
+	}
+}
+func (d Uniform) Sample(st *sim.Stream) float64 { return st.Uniform(d.Lo, d.Hi) }
+func (d Uniform) String() string {
+	return fmt.Sprintf("Uniform(lo=%.6g, hi=%.6g)", d.Lo, d.Hi)
+}
+
+// --------------------------------------------------------------- Deterministic
+
+// Deterministic is a point mass: every variate equals Value. It models
+// fixed message lengths and lock-step phase behavior.
+type Deterministic struct {
+	Value float64
+}
+
+func (d Deterministic) Name() string               { return "deterministic" }
+func (d Deterministic) Params() map[string]float64 { return map[string]float64{"value": d.Value} }
+func (d Deterministic) Mean() float64              { return d.Value }
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+func (d Deterministic) Sample(*sim.Stream) float64 { return d.Value }
+func (d Deterministic) String() string {
+	return fmt.Sprintf("Deterministic(%.6g)", d.Value)
+}
+
+// ---------------------------------------------------------------------- Normal
+
+// Normal is the Gaussian distribution, truncated at zero when sampling for
+// inter-arrival use (negative gaps are not physical).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+func (d Normal) Name() string { return "normal" }
+func (d Normal) Params() map[string]float64 {
+	return map[string]float64{"mu": d.Mu, "sigma": d.Sigma}
+}
+func (d Normal) Mean() float64 { return d.Mu }
+func (d Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+func (d Normal) Sample(st *sim.Stream) float64 {
+	for {
+		v := st.Normal(d.Mu, d.Sigma)
+		if v >= 0 {
+			return v
+		}
+	}
+}
+func (d Normal) String() string {
+	return fmt.Sprintf("Normal(mu=%.6g, sigma=%.6g)", d.Mu, d.Sigma)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func TestGammaCDFSpecialCases(t *testing.T) {
+	// Gamma(1, λ) is exponential.
+	g := Gamma{Shape: 1, Rate: 0.4}
+	e := Exponential{Rate: 0.4}
+	for x := 0.0; x < 20; x += 0.5 {
+		if !almostEqual(g.CDF(x), e.CDF(x), 1e-9) {
+			t.Fatalf("Gamma(1) CDF diverges from exponential at %v", x)
+		}
+	}
+	// Gamma(k∈N, λ) is Erlang.
+	g4 := Gamma{Shape: 4, Rate: 2}
+	e4 := Erlang{K: 4, Rate: 2}
+	for x := 0.0; x < 10; x += 0.25 {
+		if !almostEqual(g4.CDF(x), e4.CDF(x), 1e-9) {
+			t.Fatalf("Gamma(4) CDF diverges from Erlang(4) at %v", x)
+		}
+	}
+}
+
+func TestGammaSampling(t *testing.T) {
+	for _, d := range []Gamma{{Shape: 0.5, Rate: 1}, {Shape: 2.5, Rate: 0.2}, {Shape: 9, Rate: 3}} {
+		st := sim.NewStream(11)
+		const n = 60000
+		var sum float64
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(st)
+			sum += xs[i]
+		}
+		mean := sum / n
+		if math.Abs(mean-d.Mean()) > 0.03*d.Mean() {
+			t.Fatalf("%v sample mean %v, want %v", d, mean, d.Mean())
+		}
+		if ks := KolmogorovSmirnov(xs, d); ks > 0.015 {
+			t.Fatalf("%v sample KS = %v", d, ks)
+		}
+	}
+}
+
+func TestLomaxCDFAndSampling(t *testing.T) {
+	d := Lomax{Alpha: 3, Scale: 10}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Fatal("Lomax CDF must vanish at the origin")
+	}
+	if !almostEqual(d.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", d.Mean())
+	}
+	st := sim.NewStream(12)
+	const n = 80000
+	xs := make([]float64, n)
+	var sum float64
+	for i := range xs {
+		xs[i] = d.Sample(st)
+		sum += xs[i]
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.25 {
+		t.Fatalf("sample mean %v, want ~5", mean)
+	}
+	if ks := KolmogorovSmirnov(xs, d); ks > 0.01 {
+		t.Fatalf("sample KS = %v", ks)
+	}
+}
+
+func TestLomaxInfiniteMean(t *testing.T) {
+	d := Lomax{Alpha: 0.9, Scale: 1}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Fatal("alpha <= 1 should have infinite mean")
+	}
+}
+
+func TestFitRecoversGamma(t *testing.T) {
+	fitRecovery(t, Gamma{Shape: 3.5, Rate: 0.02}, 20000, 21)
+}
+
+func TestFitRecoversPareto(t *testing.T) {
+	// Heavy-tailed recovery: the Pareto family must beat the light-tailed
+	// candidates on its own data.
+	fits, err := FitInterarrival(sampleFrom(Lomax{Alpha: 2.2, Scale: 100}, 20000, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pareto *CandidateFit
+	for i := range fits {
+		if fits[i].Dist.Name() == "pareto" {
+			pareto = &fits[i]
+		}
+	}
+	if pareto == nil {
+		t.Fatal("pareto missing from candidates")
+	}
+	if pareto.R2 < fits[0].R2-0.005 {
+		t.Fatalf("pareto R²=%v, winner %s R²=%v", pareto.R2, fits[0].Dist.Name(), fits[0].R2)
+	}
+}

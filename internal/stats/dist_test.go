@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"commchar/internal/sim"
+)
+
+// allDists returns one instance of every family, for shared property tests.
+func allDists() []Distribution {
+	return []Distribution{
+		Exponential{Rate: 0.5},
+		HyperExp2{P: 0.3, Rate1: 2, Rate2: 0.2},
+		Erlang{K: 4, Rate: 2},
+		Weibull{Shape: 1.7, Scale: 3},
+		Lognormal{Mu: 0.5, Sigma: 0.8},
+		Uniform{Lo: 1, Hi: 5},
+		Deterministic{Value: 2.5},
+		Normal{Mu: 10, Sigma: 2},
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range allDists() {
+		prev := -1.0
+		for x := -5.0; x <= 50; x += 0.25 {
+			f := d.CDF(x)
+			if f < 0 || f > 1 {
+				t.Fatalf("%s: CDF(%v) = %v out of [0,1]", d.Name(), x, f)
+			}
+			if f < prev-1e-12 {
+				t.Fatalf("%s: CDF not monotone at %v", d.Name(), x)
+			}
+			prev = f
+		}
+		if d.CDF(1e12) < 0.999 {
+			t.Fatalf("%s: CDF does not approach 1", d.Name())
+		}
+	}
+}
+
+func TestSampleMeanMatchesMean(t *testing.T) {
+	const n = 100000
+	for _, d := range allDists() {
+		if d.Name() == "normal" {
+			continue // sampling truncates at zero; mean shifts slightly
+		}
+		st := sim.NewStream(42)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(st)
+		}
+		got := sum / n
+		want := d.Mean()
+		tol := 0.03 * math.Max(want, 0.1)
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: sample mean %v, analytic %v", d.Name(), got, want)
+		}
+	}
+}
+
+func TestSampleAgainstCDFProperty(t *testing.T) {
+	// The empirical CDF of samples must approach the analytic CDF: a
+	// self-consistency check between Sample and CDF.
+	for _, d := range allDists() {
+		switch d.Name() {
+		case "normal", "deterministic":
+			// normal samples truncate at zero; the KS formula assumes a
+			// continuous CDF, which a point mass is not.
+			continue
+		}
+		st := sim.NewStream(7)
+		const n = 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(st)
+		}
+		if ks := KolmogorovSmirnov(xs, d); ks > 0.02 {
+			t.Errorf("%s: KS(sample, analytic) = %v", d.Name(), ks)
+		}
+	}
+}
+
+func TestErlangCDFAgainstExponential(t *testing.T) {
+	// Erlang with k=1 is exponential.
+	e1 := Erlang{K: 1, Rate: 0.7}
+	ex := Exponential{Rate: 0.7}
+	for x := 0.0; x < 20; x += 0.5 {
+		if !almostEqual(e1.CDF(x), ex.CDF(x), 1e-12) {
+			t.Fatalf("Erlang(1) CDF diverges from exponential at %v", x)
+		}
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	w := Weibull{Shape: 1, Scale: 4}
+	ex := Exponential{Rate: 0.25}
+	for x := 0.0; x < 30; x += 0.5 {
+		if !almostEqual(w.CDF(x), ex.CDF(x), 1e-12) {
+			t.Fatalf("Weibull(1) CDF diverges at %v", x)
+		}
+	}
+}
+
+func TestHyperExpMean(t *testing.T) {
+	d := HyperExp2{P: 0.25, Rate1: 1, Rate2: 0.1}
+	want := 0.25/1.0 + 0.75/0.1
+	if !almostEqual(d.Mean(), want, 1e-12) {
+		t.Fatalf("mean = %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestDeterministicCDFStep(t *testing.T) {
+	d := Deterministic{Value: 3}
+	if d.CDF(2.999) != 0 || d.CDF(3) != 1 || d.CDF(4) != 1 {
+		t.Fatal("deterministic CDF is not a step at the value")
+	}
+}
+
+func TestUniformQuantiles(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 6}
+	if d.CDF(2) != 0 || d.CDF(6) != 1 || !almostEqual(d.CDF(4), 0.5, 1e-12) {
+		t.Fatal("uniform CDF wrong")
+	}
+}
+
+func TestCDFNonNegativeSupportProperty(t *testing.T) {
+	// Families used for inter-arrival fitting must put no mass below zero.
+	prop := func(x float64) bool {
+		if math.IsNaN(x) || x >= 0 {
+			return true
+		}
+		for _, d := range allDists() {
+			switch d.Name() {
+			case "normal":
+				continue
+			}
+			if d.CDF(x) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ParamTransform maps a model parameter between its natural (constrained)
+// space and the unconstrained space the optimizer works in. This mirrors
+// how PROC NLIN users bound rates and probabilities.
+type ParamTransform int
+
+const (
+	// TransformIdentity leaves the parameter unconstrained.
+	TransformIdentity ParamTransform = iota
+	// TransformLog constrains the parameter to be positive.
+	TransformLog
+	// TransformLogit constrains the parameter to (0, 1).
+	TransformLogit
+)
+
+func (t ParamTransform) toUnconstrained(v float64) float64 {
+	switch t {
+	case TransformLog:
+		return math.Log(v)
+	case TransformLogit:
+		return math.Log(v / (1 - v))
+	default:
+		return v
+	}
+}
+
+func (t ParamTransform) toNatural(u float64) float64 {
+	switch t {
+	case TransformLog:
+		return math.Exp(u)
+	case TransformLogit:
+		return 1 / (1 + math.Exp(-u))
+	default:
+		return u
+	}
+}
+
+// Model is a parametric curve y = F(theta; x) to be fitted by non-linear
+// least squares. Transforms has one entry per parameter.
+type Model struct {
+	Name       string
+	F          func(theta []float64, x float64) float64
+	Transforms []ParamTransform
+}
+
+// FitOptions controls the DUD iteration.
+type FitOptions struct {
+	MaxIter int     // default 200
+	Tol     float64 // relative RSS improvement tolerance, default 1e-10
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// stallLimit is how many consecutive iterations without a best-point
+// improvement DUD tolerates before declaring convergence.
+const stallLimit = 10
+
+// FitResult reports the outcome of a regression.
+type FitResult struct {
+	Theta []float64 // fitted parameters, natural space
+	RSS   float64   // residual sum of squares
+	Iters int
+}
+
+// FitDUD fits the model to (xs, ys) by the DUD ("doesn't use derivatives")
+// algorithm of Ralston & Jennrich — the multivariate secant method that SAS
+// PROC NLIN provides and that the paper used. theta0 is the initial
+// estimate in natural parameter space.
+//
+// DUD maintains p+1 parameter vectors; the model surface is locally
+// approximated by secants through their function values, a linear
+// least-squares step predicts a better point, and step halving guards the
+// descent. No derivatives of F are ever taken.
+func FitDUD(m Model, xs, ys []float64, theta0 []float64, opt FitOptions) (FitResult, error) {
+	opt = opt.withDefaults()
+	if len(xs) != len(ys) {
+		return FitResult{}, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
+	}
+	p := len(theta0)
+	if p == 0 {
+		return FitResult{}, errors.New("stats: no parameters")
+	}
+	if len(m.Transforms) != p {
+		return FitResult{}, fmt.Errorf("stats: %d transforms for %d parameters", len(m.Transforms), p)
+	}
+	if len(xs) < p+1 {
+		return FitResult{}, fmt.Errorf("stats: %d observations cannot identify %d parameters", len(xs), p)
+	}
+
+	natural := func(u []float64) []float64 {
+		th := make([]float64, p)
+		for j := range th {
+			th[j] = m.Transforms[j].toNatural(u[j])
+		}
+		return th
+	}
+	rss := func(u []float64) float64 {
+		th := natural(u)
+		var s float64
+		for i := range xs {
+			r := ys[i] - m.F(th, xs[i])
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return math.Inf(1)
+			}
+			s += r * r
+		}
+		return s
+	}
+
+	// Initial simplex of p+1 points: theta0 plus per-coordinate nudges.
+	u0 := make([]float64, p)
+	for j := range u0 {
+		u0[j] = m.Transforms[j].toUnconstrained(theta0[j])
+		if math.IsNaN(u0[j]) || math.IsInf(u0[j], 0) {
+			return FitResult{}, fmt.Errorf("stats: initial parameter %d (%v) not in the transform's domain", j, theta0[j])
+		}
+	}
+	pts := make([][]float64, p+1)
+	vals := make([]float64, p+1)
+	pts[0] = u0
+	vals[0] = rss(u0)
+	for j := 0; j < p; j++ {
+		u := append([]float64(nil), u0...)
+		step := 0.1 * math.Abs(u[j])
+		if step < 0.1 {
+			step = 0.1
+		}
+		u[j] += step
+		pts[j+1] = u
+		vals[j+1] = rss(u)
+	}
+
+	// order sorts points so pts[0] is worst and pts[p] is best.
+	order := func() {
+		for i := 0; i < len(pts); i++ {
+			for k := i + 1; k < len(pts); k++ {
+				if vals[k] > vals[i] {
+					pts[i], pts[k] = pts[k], pts[i]
+					vals[i], vals[k] = vals[k], vals[i]
+				}
+			}
+		}
+	}
+	order()
+
+	iters := 0
+	stall := 0
+	for ; iters < opt.MaxIter; iters++ {
+		best := pts[p]
+		bestVal := vals[p]
+		if math.IsInf(bestVal, 1) {
+			return FitResult{}, errors.New("stats: model not evaluable near initial estimate")
+		}
+
+		// Secant approximation around the best point.
+		thBest := natural(best)
+		gBest := make([]float64, len(xs))
+		for i := range xs {
+			gBest[i] = m.F(thBest, xs[i])
+		}
+		// Columns: dTheta[j] = pts[j] - best; dG[j][i] = F(pts[j]) - F(best).
+		dTheta := make([][]float64, p)
+		dG := make([][]float64, p)
+		for j := 0; j < p; j++ {
+			dTheta[j] = make([]float64, p)
+			for k := 0; k < p; k++ {
+				dTheta[j][k] = pts[j][k] - best[k]
+			}
+			th := natural(pts[j])
+			col := make([]float64, len(xs))
+			for i := range xs {
+				col[i] = m.F(th, xs[i]) - gBest[i]
+			}
+			dG[j] = col
+		}
+
+		// Solve min_alpha || r - dG alpha || where r = y - g(best):
+		// normal equations (dG^T dG) alpha = dG^T r, with ridge fallback.
+		r := make([]float64, len(xs))
+		for i := range xs {
+			r[i] = ys[i] - gBest[i]
+		}
+		ata := make([][]float64, p)
+		atb := make([]float64, p)
+		for j := 0; j < p; j++ {
+			ata[j] = make([]float64, p)
+			for k := 0; k <= j; k++ {
+				var s float64
+				for i := range xs {
+					s += dG[j][i] * dG[k][i]
+				}
+				ata[j][k] = s
+			}
+			var s float64
+			for i := range xs {
+				s += dG[j][i] * r[i]
+			}
+			atb[j] = s
+		}
+		for j := 0; j < p; j++ {
+			for k := j + 1; k < p; k++ {
+				ata[j][k] = ata[k][j]
+			}
+		}
+		alpha, ok := solveLinear(ata, atb)
+		if !ok {
+			// Degenerate secant set: regularize by re-nudging the worst
+			// point off the best and retry next iteration.
+			for j := range pts[0] {
+				pts[0][j] = best[j] + (0.05+1e-3*float64(iters))*(1+math.Abs(best[j]))*sign(float64(j%2)*2-1)
+			}
+			vals[0] = rss(pts[0])
+			order()
+			continue
+		}
+
+		// Candidate step with halving, under a trust-region cap: an
+		// unconstrained-space move bigger than maxStep per coordinate
+		// would leap onto the CDF's flat plateaus (F≡0 or F≡1) where the
+		// secants carry no information.
+		const maxStep = 2.0
+		var maxMove float64
+		for k := 0; k < p; k++ {
+			var move float64
+			for j := 0; j < p; j++ {
+				move += dTheta[j][k] * alpha[j]
+			}
+			if a := math.Abs(move); a > maxMove {
+				maxMove = a
+			}
+		}
+		improved := false
+		scale := 1.0
+		if maxMove > maxStep {
+			scale = maxStep / maxMove
+		}
+		for h := 0; h < 10; h++ {
+			cand := make([]float64, p)
+			for k := 0; k < p; k++ {
+				var move float64
+				for j := 0; j < p; j++ {
+					move += dTheta[j][k] * alpha[j] * scale
+				}
+				cand[k] = best[k] + move
+			}
+			cv := rss(cand)
+			if cv < vals[0] { // better than the worst: accept
+				pts[0] = cand
+				vals[0] = cv
+				improved = true
+				break
+			}
+			scale /= 2
+		}
+		if !improved {
+			// Shrink the simplex toward the best point (the DUD restart
+			// recommended when the secant step fails) and keep going
+			// unless the simplex has collapsed.
+			var size float64
+			for j := 0; j < p; j++ {
+				for k := 0; k < p; k++ {
+					pts[j][k] = best[k] + 0.5*(pts[j][k]-best[k])
+					d := pts[j][k] - best[k]
+					size += d * d
+				}
+				vals[j] = rss(pts[j])
+			}
+			if size < 1e-24 {
+				break
+			}
+			order()
+			continue
+		}
+		prevBest := bestVal
+		order()
+		if prevBest-vals[p] <= opt.Tol*math.Max(prevBest, 1e-30) {
+			stall++
+			if stall >= stallLimit {
+				break
+			}
+		} else {
+			stall = 0
+		}
+	}
+
+	order()
+	return FitResult{Theta: natural(pts[p]), RSS: vals[p], Iters: iters}, nil
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// solveLinear solves A x = b for small dense systems by Gaussian elimination
+// with partial pivoting. It reports false for (near-)singular systems.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	return x, true
+}

@@ -1,0 +1,385 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// CandidateFit is one fitted distribution family with its goodness-of-fit
+// measures, as reported in the paper's tables.
+type CandidateFit struct {
+	Dist  Distribution
+	R2    float64 // regression R² against the empirical CDF
+	KS    float64 // Kolmogorov-Smirnov statistic
+	Chi   ChiSquareResult
+	Iters int // DUD iterations spent refining
+}
+
+// maxRegressionPoints bounds the ECDF points handed to DUD so fitting cost
+// is independent of trace length.
+const maxRegressionPoints = 256
+
+// chiSquareBins is the equal-probability bin count used for χ² tests.
+const chiSquareBins = 20
+
+// FitInterarrival fits every candidate family to the sample by non-linear
+// regression on the empirical CDF (method-of-moments or MLE starting
+// values, DUD refinement) and returns the candidates sorted best-first by
+// R². This is the paper's Section 3 procedure with SAS replaced by the
+// stats package.
+func FitInterarrival(samples []float64) ([]CandidateFit, error) {
+	if len(samples) < 8 {
+		return nil, errors.New("stats: too few samples to characterize")
+	}
+	sum := Summarize(samples)
+	if sum.Mean <= 0 {
+		return nil, errors.New("stats: non-positive mean; inter-arrival samples must be positive")
+	}
+
+	// Degenerate sample: a point mass. Continuous families cannot beat
+	// it, and regression on a single x is ill-posed.
+	if sum.StdDev <= 1e-12*math.Abs(sum.Mean) {
+		return []CandidateFit{{
+			Dist: Deterministic{Value: sum.Mean},
+			R2:   1, KS: 0,
+			Chi: ChiSquareResult{Statistic: 0, DF: 1, PValue: 1},
+		}}, nil
+	}
+
+	ecdf := NewECDF(samples)
+	xs, ys := ecdf.Points(maxRegressionPoints)
+
+	var out []CandidateFit
+	for _, c := range candidateModels(sum, samples) {
+		fit := refineAndScore(c, xs, ys, samples)
+		if fit != nil {
+			out = append(out, *fit)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("stats: no candidate family could be fitted")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].R2 > out[j].R2 })
+	return out, nil
+}
+
+// candidate couples a family's CDF model with its initial estimate and a
+// constructor back from the fitted parameter vector.
+type candidate struct {
+	model Model
+	init  []float64
+	build func(theta []float64) Distribution
+	// nparams counted against the χ² degrees of freedom.
+	nparams int
+}
+
+func candidateModels(sum Summary, samples []float64) []candidate {
+	mean := sum.Mean
+	cv := sum.CV
+
+	cands := []candidate{
+		{
+			model: Model{
+				Name: "exponential",
+				F: func(th []float64, x float64) float64 {
+					return Exponential{Rate: th[0]}.CDF(x)
+				},
+				Transforms: []ParamTransform{TransformLog},
+			},
+			init:    []float64{1 / mean},
+			build:   func(th []float64) Distribution { return Exponential{Rate: th[0]} },
+			nparams: 1,
+		},
+		{
+			model: Model{
+				Name: "weibull",
+				F: func(th []float64, x float64) float64 {
+					return Weibull{Shape: th[0], Scale: th[1]}.CDF(x)
+				},
+				Transforms: []ParamTransform{TransformLog, TransformLog},
+			},
+			init:    weibullInit(samples, mean),
+			build:   func(th []float64) Distribution { return Weibull{Shape: th[0], Scale: th[1]} },
+			nparams: 2,
+		},
+		{
+			model: Model{
+				Name: "uniform",
+				F: func(th []float64, x float64) float64 {
+					if th[1] <= th[0] {
+						return math.NaN()
+					}
+					return Uniform{Lo: th[0], Hi: th[1]}.CDF(x)
+				},
+				Transforms: []ParamTransform{TransformIdentity, TransformIdentity},
+			},
+			init:    []float64{sum.Min, sum.Max},
+			build:   func(th []float64) Distribution { return Uniform{Lo: th[0], Hi: th[1]} },
+			nparams: 2,
+		},
+		{
+			model: Model{
+				Name: "normal",
+				F: func(th []float64, x float64) float64 {
+					return Normal{Mu: th[0], Sigma: th[1]}.CDF(x)
+				},
+				Transforms: []ParamTransform{TransformIdentity, TransformLog},
+			},
+			init:    []float64{mean, sum.StdDev},
+			build:   func(th []float64) Distribution { return Normal{Mu: th[0], Sigma: th[1]} },
+			nparams: 2,
+		},
+	}
+
+	// Hyperexponential models CV > 1 (bursty traffic). Seed it from the
+	// balanced-means moment match when valid, else a generic split.
+	p, l1, l2 := hyperInit(mean, cv)
+	cands = append(cands, candidate{
+		model: Model{
+			Name: "hyperexponential",
+			F: func(th []float64, x float64) float64 {
+				return HyperExp2{P: th[0], Rate1: th[1], Rate2: th[2]}.CDF(x)
+			},
+			Transforms: []ParamTransform{TransformLogit, TransformLog, TransformLog},
+		},
+		init:    []float64{p, l1, l2},
+		build:   func(th []float64) Distribution { return HyperExp2{P: th[0], Rate1: th[1], Rate2: th[2]} },
+		nparams: 3,
+	})
+
+	// Erlang-k models CV < 1; k is discrete so it is chosen by moments and
+	// only the rate is regressed.
+	k := erlangStages(cv)
+	cands = append(cands, candidate{
+		model: Model{
+			Name: "erlang",
+			F: func(th []float64, x float64) float64 {
+				return Erlang{K: k, Rate: th[0]}.CDF(x)
+			},
+			Transforms: []ParamTransform{TransformLog},
+		},
+		init:    []float64{float64(k) / mean},
+		build:   func(th []float64) Distribution { return Erlang{K: k, Rate: th[0]} },
+		nparams: 2, // k and rate
+	})
+
+	// Gamma, seeded by moments (k = 1/CV², rate = k/mean).
+	gk := 1.0
+	if cv > 0 {
+		gk = 1 / (cv * cv)
+	}
+	if gk < 0.05 {
+		gk = 0.05
+	}
+	if gk > 200 {
+		gk = 200
+	}
+	cands = append(cands, candidate{
+		model: Model{
+			Name: "gamma",
+			F: func(th []float64, x float64) float64 {
+				return Gamma{Shape: th[0], Rate: th[1]}.CDF(x)
+			},
+			Transforms: []ParamTransform{TransformLog, TransformLog},
+		},
+		init:    []float64{gk, gk / mean},
+		build:   func(th []float64) Distribution { return Gamma{Shape: th[0], Rate: th[1]} },
+		nparams: 2,
+	})
+
+	// Pareto (Lomax), seeded for a moderately heavy tail.
+	pa := 2.5
+	if cv > 1 {
+		c2 := cv * cv
+		if a := 2 * c2 / (c2 - 1); a > 2.05 && a < 50 {
+			pa = a
+		}
+	}
+	cands = append(cands, candidate{
+		model: Model{
+			Name: "pareto",
+			F: func(th []float64, x float64) float64 {
+				return Lomax{Alpha: th[0], Scale: th[1]}.CDF(x)
+			},
+			Transforms: []ParamTransform{TransformLog, TransformLog},
+		},
+		init:    []float64{pa, mean * (pa - 1)},
+		build:   func(th []float64) Distribution { return Lomax{Alpha: th[0], Scale: th[1]} },
+		nparams: 2,
+	})
+
+	// Lognormal, seeded by MLE on the positive subsample.
+	if mu, sigma, ok := lognormalInit(samples); ok {
+		cands = append(cands, candidate{
+			model: Model{
+				Name: "lognormal",
+				F: func(th []float64, x float64) float64 {
+					return Lognormal{Mu: th[0], Sigma: th[1]}.CDF(x)
+				},
+				Transforms: []ParamTransform{TransformIdentity, TransformLog},
+			},
+			init:    []float64{mu, sigma},
+			build:   func(th []float64) Distribution { return Lognormal{Mu: th[0], Sigma: th[1]} },
+			nparams: 2,
+		})
+	}
+	return cands
+}
+
+func refineAndScore(c candidate, xs, ys []float64, samples []float64) *CandidateFit {
+	theta := c.init
+	iters := 0
+	bestRSS := math.Inf(1)
+	// Multi-start: the moment/MLE seed plus scaled variants, to dodge the
+	// local minima multi-parameter families (H2 especially) suffer from.
+	for _, f := range []float64{1, 0.3, 3} {
+		seed := make([]float64, len(c.init))
+		for j, v := range c.init {
+			seed[j] = scaleParam(c.model.Transforms[j], v, f)
+		}
+		res, err := FitDUD(c.model, xs, ys, seed, FitOptions{})
+		if err == nil && res.RSS < bestRSS {
+			bestRSS = res.RSS
+			theta = res.Theta
+			iters += res.Iters
+		}
+	}
+	dist := c.build(theta)
+	yhat := make([]float64, len(xs))
+	bad := false
+	for i, x := range xs {
+		yhat[i] = dist.CDF(x)
+		if math.IsNaN(yhat[i]) {
+			bad = true
+			break
+		}
+	}
+	if bad {
+		// Fall back to the initial estimate if refinement went astray.
+		dist = c.build(c.init)
+		for i, x := range xs {
+			yhat[i] = dist.CDF(x)
+			if math.IsNaN(yhat[i]) {
+				return nil
+			}
+		}
+	}
+	r2 := RSquared(ys, yhat)
+	if math.IsNaN(r2) || math.IsInf(r2, 0) {
+		return nil
+	}
+	return &CandidateFit{
+		Dist:  dist,
+		R2:    r2,
+		KS:    KolmogorovSmirnov(samples, dist),
+		Chi:   ChiSquareGoF(samples, dist, chiSquareBins, c.nparams),
+		Iters: iters,
+	}
+}
+
+// scaleParam perturbs a starting value for multi-start fitting in a way
+// that stays inside the parameter's domain.
+func scaleParam(tr ParamTransform, v, f float64) float64 {
+	switch tr {
+	case TransformLog:
+		return v * f
+	case TransformLogit:
+		// Pull toward 0.5 or the edges while staying in (0,1).
+		u := math.Log(v/(1-v)) * f
+		return 1 / (1 + math.Exp(-u))
+	default:
+		if f == 1 {
+			return v
+		}
+		return v * f
+	}
+}
+
+// hyperInit returns balanced-means moment-matched H2 parameters for the
+// given mean and CV, or a generic bursty split when CV <= 1.
+func hyperInit(mean, cv float64) (p, l1, l2 float64) {
+	c2 := cv * cv
+	if c2 <= 1.0001 {
+		c2 = 2 // generic burstiness seed; DUD moves it if the data disagree
+	}
+	p = 0.5 * (1 + math.Sqrt((c2-1)/(c2+1)))
+	l1 = 2 * p / mean
+	l2 = 2 * (1 - p) / mean
+	return p, l1, l2
+}
+
+// erlangStages chooses k ≈ 1/CV², clamped to a sane range.
+func erlangStages(cv float64) int {
+	if cv <= 0 {
+		return 50
+	}
+	k := int(math.Round(1 / (cv * cv)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 50 {
+		k = 50
+	}
+	return k
+}
+
+// weibullInit estimates (shape, scale) by linear regression on the
+// linearized CDF: ln(-ln(1-F)) = k·ln x - k·ln λ.
+func weibullInit(samples []float64, mean float64) []float64 {
+	xs := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if x > 0 {
+			xs = append(xs, x)
+		}
+	}
+	if len(xs) < 8 {
+		return []float64{1, mean}
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	var m int
+	for i, x := range xs {
+		f := (float64(i) + 0.5) / n
+		lx := math.Log(x)
+		ly := math.Log(-math.Log(1 - f))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		m++
+	}
+	den := float64(m)*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return []float64{1, mean}
+	}
+	shape := (float64(m)*sxy - sx*sy) / den
+	if shape <= 0.05 || math.IsNaN(shape) {
+		return []float64{1, mean}
+	}
+	intercept := (sy - shape*sx) / float64(m)
+	scale := math.Exp(-intercept / shape)
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		scale = mean
+	}
+	return []float64{shape, scale}
+}
+
+// lognormalInit is the MLE on the positive subsample.
+func lognormalInit(samples []float64) (mu, sigma float64, ok bool) {
+	var logs []float64
+	for _, x := range samples {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	if len(logs) < 8 {
+		return 0, 0, false
+	}
+	s := Summarize(logs)
+	if s.StdDev <= 0 {
+		return 0, 0, false
+	}
+	return s.Mean, s.StdDev, true
+}

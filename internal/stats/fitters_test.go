@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func sampleFrom(d Distribution, n int, seed uint64) []float64 {
+	st := sim.NewStream(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(st)
+	}
+	return xs
+}
+
+// fitRecovery runs the full pipeline on synthetic data and requires the true
+// family to win (or tie within tolerance of whatever wins).
+func fitRecovery(t *testing.T, trueDist Distribution, n int, seed uint64) CandidateFit {
+	t.Helper()
+	fits, err := FitInterarrival(sampleFrom(trueDist, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := fits[0]
+	if best.R2 < 0.98 {
+		t.Fatalf("best fit for %s is %s with R²=%v", trueDist, best.Dist, best.R2)
+	}
+	var trueFit *CandidateFit
+	for i := range fits {
+		if fits[i].Dist.Name() == trueDist.Name() {
+			trueFit = &fits[i]
+			break
+		}
+	}
+	if trueFit == nil {
+		t.Fatalf("true family %s missing from candidates", trueDist.Name())
+	}
+	if trueFit.R2 < best.R2-0.01 {
+		t.Fatalf("true family %s scored R²=%v, winner %s scored %v",
+			trueDist.Name(), trueFit.R2, best.Dist.Name(), best.R2)
+	}
+	return best
+}
+
+func TestFitRecoversExponential(t *testing.T) {
+	best := fitRecovery(t, Exponential{Rate: 0.02}, 20000, 1)
+	if best.KS > 0.05 {
+		t.Fatalf("KS = %v", best.KS)
+	}
+}
+
+func TestFitRecoversHyperexponential(t *testing.T) {
+	fitRecovery(t, HyperExp2{P: 0.8, Rate1: 0.05, Rate2: 0.002}, 20000, 2)
+}
+
+func TestFitRecoversErlang(t *testing.T) {
+	fitRecovery(t, Erlang{K: 4, Rate: 0.08}, 20000, 3)
+}
+
+func TestFitRecoversWeibull(t *testing.T) {
+	fitRecovery(t, Weibull{Shape: 2.5, Scale: 120}, 20000, 4)
+}
+
+func TestFitRecoversUniform(t *testing.T) {
+	fitRecovery(t, Uniform{Lo: 10, Hi: 30}, 20000, 5)
+}
+
+func TestFitDeterministicSample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 42
+	}
+	fits, err := FitInterarrival(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Dist.Name() != "deterministic" {
+		t.Fatalf("constant sample fitted as %s", fits[0].Dist.Name())
+	}
+	if fits[0].Dist.Mean() != 42 {
+		t.Fatalf("deterministic mean = %v", fits[0].Dist.Mean())
+	}
+}
+
+func TestFitRejectsTinySamples(t *testing.T) {
+	if _, err := FitInterarrival([]float64{1, 2, 3}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestFitPreservesMean(t *testing.T) {
+	trueDist := Exponential{Rate: 0.01}
+	xs := sampleFrom(trueDist, 30000, 9)
+	fits, err := FitInterarrival(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(xs)
+	got := fits[0].Dist.Mean()
+	if got < 0.9*s.Mean || got > 1.1*s.Mean {
+		t.Fatalf("fitted mean %v, sample mean %v", got, s.Mean)
+	}
+}
+
+func TestFitsSortedByR2(t *testing.T) {
+	fits, err := FitInterarrival(sampleFrom(Weibull{Shape: 3, Scale: 50}, 10000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i].R2 > fits[i-1].R2 {
+			t.Fatalf("fits not sorted: %v then %v", fits[i-1].R2, fits[i].R2)
+		}
+	}
+}
+
+func TestErlangStages(t *testing.T) {
+	if k := erlangStages(1); k != 1 {
+		t.Fatalf("CV=1 -> k=%d", k)
+	}
+	if k := erlangStages(0.5); k != 4 {
+		t.Fatalf("CV=0.5 -> k=%d", k)
+	}
+	if k := erlangStages(0.01); k != 50 {
+		t.Fatalf("tiny CV -> k=%d (want clamp 50)", k)
+	}
+}
+
+func TestHyperInitMatchesMoments(t *testing.T) {
+	mean, cv := 10.0, 2.0
+	p, l1, l2 := hyperInit(mean, cv)
+	d := HyperExp2{P: p, Rate1: l1, Rate2: l2}
+	if !almostEqual(d.Mean(), mean, 1e-9) {
+		t.Fatalf("moment-matched mean = %v, want %v", d.Mean(), mean)
+	}
+	if p <= 0 || p >= 1 || l1 <= 0 || l2 <= 0 {
+		t.Fatalf("invalid H2 parameters: %v %v %v", p, l1, l2)
+	}
+}

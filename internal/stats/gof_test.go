@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func TestRSquaredPerfect(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := RSquared(y, y); r != 1 {
+		t.Fatalf("R² of perfect fit = %v", r)
+	}
+}
+
+func TestRSquaredMeanPredictor(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	yhat := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(y, yhat); !almostEqual(r, 0, 1e-12) {
+		t.Fatalf("R² of mean predictor = %v, want 0", r)
+	}
+}
+
+func TestGammaIncRegKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaIncReg(1, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P(a, inf) -> 1.
+	if GammaIncReg(3, 0) != 0 {
+		t.Error("P(3,0) != 0")
+	}
+	if got := GammaIncReg(3, 1e6); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("P(3,1e6) = %v", got)
+	}
+	// χ² with 2 df: SF(x) = e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 3, 8} {
+		want := math.Exp(-x / 2)
+		if got := ChiSquareSF(x, 2); !almostEqual(got, want, 1e-9) {
+			t.Errorf("ChiSquareSF(%v,2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestKolmogorovSmirnovSelf(t *testing.T) {
+	d := Exponential{Rate: 1}
+	st := sim.NewStream(3)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = d.Sample(st)
+	}
+	if ks := KolmogorovSmirnov(xs, d); ks > 0.01 {
+		t.Fatalf("KS against true distribution = %v", ks)
+	}
+	wrong := Exponential{Rate: 3}
+	if ks := KolmogorovSmirnov(xs, wrong); ks < 0.2 {
+		t.Fatalf("KS against wrong distribution = %v, too small", ks)
+	}
+}
+
+func TestChiSquareGoFAcceptsTrueRejectsFalse(t *testing.T) {
+	d := Exponential{Rate: 0.5}
+	st := sim.NewStream(9)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = d.Sample(st)
+	}
+	good := ChiSquareGoF(xs, d, 20, 1)
+	if good.PValue < 0.001 {
+		t.Fatalf("true distribution rejected: %+v", good)
+	}
+	bad := ChiSquareGoF(xs, Exponential{Rate: 2}, 20, 1)
+	if bad.PValue > 0.001 {
+		t.Fatalf("wrong distribution accepted: %+v", bad)
+	}
+}
+
+func TestChiSquareCountsUniform(t *testing.T) {
+	obs := []int{100, 98, 102, 101, 99}
+	exp := []float64{1, 1, 1, 1, 1}
+	res := ChiSquareCounts(obs, exp)
+	if res.PValue < 0.5 {
+		t.Fatalf("near-uniform counts rejected: %+v", res)
+	}
+	skew := []int{400, 10, 10, 10, 10}
+	res2 := ChiSquareCounts(skew, exp)
+	if res2.PValue > 1e-6 {
+		t.Fatalf("skewed counts accepted: %+v", res2)
+	}
+}

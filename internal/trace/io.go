@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+)
+
+// WriteCSV serializes the trace as CSV with header
+// rank,op,peer,bytes,tag,compute_ns — one row per event, in program order.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "op", "peer", "bytes", "tag", "compute_ns"}); err != nil {
+		return err
+	}
+	for rank, seq := range t.Events {
+		for _, e := range seq {
+			row := []string{
+				strconv.Itoa(rank),
+				e.Op.String(),
+				strconv.Itoa(e.Peer),
+				strconv.Itoa(e.Bytes),
+				strconv.Itoa(e.Tag),
+				strconv.FormatInt(int64(e.Compute), 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. ranks is the machine size;
+// rows may appear in any rank order but must be in program order per rank.
+func ReadCSV(r io.Reader, ranks int) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	t := New(ranks)
+	for i, row := range rows[1:] { // skip header
+		if len(row) != 6 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+		}
+		rank, err := strconv.Atoi(row[0])
+		if err != nil || rank < 0 || rank >= ranks {
+			return nil, fmt.Errorf("trace: row %d bad rank %q", i+2, row[0])
+		}
+		var op Op
+		switch row[1] {
+		case "send":
+			op = OpSend
+		case "recv":
+			op = OpRecv
+		default:
+			return nil, fmt.Errorf("trace: row %d bad op %q", i+2, row[1])
+		}
+		peer, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d bad peer %q", i+2, row[2])
+		}
+		bytes, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d bad bytes %q", i+2, row[3])
+		}
+		tag, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d bad tag %q", i+2, row[4])
+		}
+		compute, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d bad compute %q", i+2, row[5])
+		}
+		t.Add(rank, Event{Op: op, Peer: peer, Bytes: bytes, Tag: tag, Compute: sim.Duration(compute)})
+	}
+	return t, nil
+}
+
+// WriteDeliveries serializes a network log as CSV with header
+// id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops.
+func WriteDeliveries(w io.Writer, log []mesh.Delivery) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src", "dst", "bytes", "inject_ns", "end_ns", "latency_ns", "blocked_ns", "hops"}); err != nil {
+		return err
+	}
+	for _, d := range log {
+		row := []string{
+			strconv.FormatInt(d.Message.ID, 10),
+			strconv.Itoa(d.Src),
+			strconv.Itoa(d.Dst),
+			strconv.Itoa(d.Bytes),
+			strconv.FormatInt(int64(d.Inject), 10),
+			strconv.FormatInt(int64(d.End), 10),
+			strconv.FormatInt(int64(d.Latency), 10),
+			strconv.FormatInt(int64(d.Blocked), 10),
+			strconv.Itoa(d.Hops),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDeliveries parses a network log written by WriteDeliveries.
+func ReadDeliveries(r io.Reader) ([]mesh.Delivery, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty delivery log")
+	}
+	var out []mesh.Delivery
+	for i, row := range rows[1:] {
+		if len(row) != 9 {
+			return nil, fmt.Errorf("trace: delivery row %d has %d fields", i+2, len(row))
+		}
+		ints := make([]int64, 9)
+		for j, f := range row {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: delivery row %d field %d: %w", i+2, j, err)
+			}
+			ints[j] = v
+		}
+		out = append(out, mesh.Delivery{
+			Message: mesh.Message{
+				ID: ints[0], Src: int(ints[1]), Dst: int(ints[2]),
+				Bytes: int(ints[3]), Inject: sim.Time(ints[4]),
+			},
+			End:     sim.Time(ints[5]),
+			Latency: sim.Duration(ints[6]),
+			Blocked: sim.Duration(ints[7]),
+			Hops:    int(ints[8]),
+		})
+	}
+	return out, nil
+}

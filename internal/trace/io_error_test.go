@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"short row", "rank,op,peer,bytes,tag,compute_ns\n0,send\n"},
+		{"bad rank", "rank,op,peer,bytes,tag,compute_ns\nx,send,1,8,0,0\n"},
+		{"rank out of range", "rank,op,peer,bytes,tag,compute_ns\n9,send,1,8,0,0\n"},
+		{"bad op", "rank,op,peer,bytes,tag,compute_ns\n0,sendd,1,8,0,0\n"},
+		{"bad peer", "rank,op,peer,bytes,tag,compute_ns\n0,send,x,8,0,0\n"},
+		{"bad bytes", "rank,op,peer,bytes,tag,compute_ns\n0,send,1,x,0,0\n"},
+		{"bad tag", "rank,op,peer,bytes,tag,compute_ns\n0,send,1,8,x,0\n"},
+		{"bad compute", "rank,op,peer,bytes,tag,compute_ns\n0,send,1,8,0,x\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv), 2); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadDeliveriesErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"short row", "id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops\n1,2\n"},
+		{"bad field", "id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops\n1,2,3,4,5,6,7,8,x\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadDeliveries(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSend.String() != "send" || OpRecv.String() != "recv" {
+		t.Fatal("op strings wrong")
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Fatal("unknown op string")
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+)
+
+// CostModel charges communication-software overheads during replay, in the
+// role of the validated IBM SP2 model of the paper.
+type CostModel interface {
+	// SendOverhead is the software time on the sender before the message
+	// enters the network.
+	SendOverhead(bytes int) sim.Duration
+	// RecvOverhead is the software time on the receiver after the message
+	// leaves the network.
+	RecvOverhead(bytes int) sim.Duration
+}
+
+// ZeroCost charges no software overhead (raw network replay).
+type ZeroCost struct{}
+
+// SendOverhead implements CostModel.
+func (ZeroCost) SendOverhead(int) sim.Duration { return 0 }
+
+// RecvOverhead implements CostModel.
+func (ZeroCost) RecvOverhead(int) sim.Duration { return 0 }
+
+// Replay drives the trace through the network. Each rank becomes a process
+// on the network's simulator that re-executes its event sequence: compute
+// deltas are slept, sends inject real messages (after the sender-side
+// software overhead), and receives block until the matching message's tail
+// arrives (plus the receiver-side overhead). Rank i is placed on mesh node
+// i. The caller runs the simulator; the network log then contains the
+// replayed traffic.
+//
+// Matching is FIFO per (source, tag) channel, the usual message-passing
+// semantics.
+func Replay(s *sim.Simulator, net *mesh.Network, t *Trace, cost CostModel) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Ranks > net.Config().Nodes() {
+		return fmt.Errorf("trace: %d ranks exceed %d mesh nodes", t.Ranks, net.Config().Nodes())
+	}
+	if cost == nil {
+		cost = ZeroCost{}
+	}
+
+	type channel struct{ src, tag int }
+	// Per-rank inbox: delivered byte counts per channel, and a waiting
+	// receiver (at most one per rank since ranks are sequential).
+	type inbox struct {
+		arrived map[channel][]int // byte counts, FIFO
+		waiting map[channel]sim.Waker
+	}
+	inboxes := make([]inbox, t.Ranks)
+	for i := range inboxes {
+		inboxes[i] = inbox{arrived: map[channel][]int{}, waiting: map[channel]sim.Waker{}}
+	}
+
+	for rank := 0; rank < t.Ranks; rank++ {
+		rank := rank
+		seq := t.Events[rank]
+		s.Spawn(fmt.Sprintf("replay-rank%d", rank), func(p *sim.Process) {
+			for _, e := range seq {
+				p.Hold(e.Compute)
+				switch e.Op {
+				case OpSend:
+					p.Hold(cost.SendOverhead(e.Bytes))
+					dst := e.Peer
+					ch := channel{src: rank, tag: e.Tag}
+					m := mesh.Message{
+						ID:     net.NextID(),
+						Src:    rank,
+						Dst:    dst,
+						Bytes:  e.Bytes,
+						Inject: p.Now(),
+					}
+					net.Inject(m, func(d mesh.Delivery) {
+						ib := &inboxes[dst]
+						ib.arrived[ch] = append(ib.arrived[ch], d.Bytes)
+						if w, ok := ib.waiting[ch]; ok {
+							delete(ib.waiting, ch)
+							w.Wake()
+						}
+					})
+				case OpRecv:
+					ch := channel{src: e.Peer, tag: e.Tag}
+					ib := &inboxes[rank]
+					for len(ib.arrived[ch]) == 0 {
+						ib.waiting[ch] = sim.WakerFor(p)
+						p.Suspend()
+					}
+					bytes := ib.arrived[ch][0]
+					ib.arrived[ch] = ib.arrived[ch][1:]
+					p.Hold(cost.RecvOverhead(bytes))
+				}
+			}
+		})
+	}
+	return nil
+}
