@@ -7,26 +7,36 @@
 // Usage:
 //
 //	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv]
+//	characterize -app 3D-FFT -trace-out t.csv   (static strategy: export the app trace)
 //	characterize -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"commchar/internal/apps"
+	"commchar/internal/cli"
 	"commchar/internal/report"
 	"commchar/internal/trace"
 )
 
-func main() {
-	app := flag.String("app", "", "application name (see -list)")
-	procs := flag.Int("procs", 16, "number of processors")
-	scale := flag.String("scale", "full", "problem scale: full or small")
-	logOut := flag.String("log", "", "write the raw network log (CSV) to this file")
-	list := flag.Bool("list", false, "list the application suite and exit")
-	flag.Parse()
+func main() { cli.Main("characterize", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "", "application name (see -list)")
+	procs := fs.Int("procs", 16, "number of processors")
+	scale := fs.String("scale", "full", "problem scale: full or small")
+	logOut := fs.String("log", "", "write the raw network log (CSV) to this file")
+	traceOut := fs.String("trace-out", "", "write the application trace (CSV, static strategy only) to this file")
+	list := fs.Bool("list", false, "list the application suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sc := apps.ScaleFull
 	if *scale == "small" {
@@ -35,38 +45,48 @@ func main() {
 
 	if *list {
 		for _, w := range apps.Suite(sc) {
-			fmt.Printf("%-10s %-8s %s\n", w.Name, w.Strategy, w.Description)
+			fmt.Fprintf(stdout, "%-10s %-8s %s\n", w.Name, w.Strategy, w.Description)
 		}
-		return
+		return nil
 	}
 	if *app == "" {
-		fmt.Fprintln(os.Stderr, "characterize: -app required (try -list)")
-		os.Exit(2)
+		return cli.Usagef("-app required (try -list)")
 	}
 
 	w, err := apps.ByName(sc, *app)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
 	c, err := w.Characterize(*procs)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	report.Render(os.Stdout, c)
+	report.Render(stdout, c)
 
 	if *logOut != "" {
 		f, err := os.Create(*logOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := trace.WriteDeliveries(f, c.Log); err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: writing log: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("writing log: %w", err)
 		}
-		fmt.Printf("\nnetwork log (%d messages) written to %s\n", len(c.Log), *logOut)
+		fmt.Fprintf(stdout, "\nnetwork log (%d messages) written to %s\n", len(c.Log), *logOut)
 	}
+	if *traceOut != "" {
+		if c.Trace == nil {
+			return fmt.Errorf("%s uses the dynamic strategy; only static-strategy apps record an application trace", *app)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.Trace.WriteCSV(f); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "application trace (%d messages) written to %s\n", c.Trace.Messages(), *traceOut)
+	}
+	return nil
 }

@@ -1,5 +1,7 @@
 // Command experiments regenerates every table, figure, and ablation of the
-// reproduced evaluation (see DESIGN.md for the experiment index).
+// reproduced evaluation (see DESIGN.md for the experiment index). A step
+// that fails — even by panicking — is reported and skipped; the sweep
+// continues and emits every other result before exiting non-zero.
 //
 // Usage:
 //
@@ -9,18 +11,25 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strings"
 
 	"commchar/internal/apps"
+	"commchar/internal/cli"
 	"commchar/internal/experiments"
 )
 
-func main() {
-	procs := flag.Int("procs", 16, "number of processors")
-	scale := flag.String("scale", "full", "problem scale: full or small")
-	only := flag.String("only", "", "run a single experiment (substring of its banner, e.g. 'Table 2')")
-	flag.Parse()
+func main() { cli.Main("experiments", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 16, "number of processors")
+	scale := fs.String("scale", "full", "problem scale: full or small")
+	only := fs.String("only", "", "run a single experiment (substring of its key, e.g. 'Table 2')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sc := apps.ScaleFull
 	switch *scale {
@@ -28,55 +37,29 @@ func main() {
 	case "small":
 		sc = apps.ScaleSmall
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return cli.Usagef("unknown scale %q", *scale)
 	}
 
 	r := experiments.NewRunner(sc)
-	if *only == "" {
-		if err := r.All(os.Stdout, *procs); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	steps := map[string]func() error{
-		"Table 1":             func() error { return r.Table1(os.Stdout, *procs) },
-		"Table 2":             func() error { return r.Table2(os.Stdout, *procs) },
-		"Table 3":             func() error { return r.Table3(os.Stdout, *procs) },
-		"Table 4":             func() error { return r.Table4(os.Stdout, *procs) },
-		"Table 5":             func() error { return r.Table5(os.Stdout, *procs) },
-		"Table 6":             func() error { return r.Table6(os.Stdout, *procs) },
-		"Table 7":             func() error { return r.Table7(os.Stdout, *procs) },
-		"interarrival":        func() error { return r.FigureInterarrivalSM(os.Stdout, *procs) },
-		"spatial-sm":          func() error { return r.FigureSpatialSM(os.Stdout) },
-		"spatial-mp":          func() error { return r.FigureSpatialMP(os.Stdout) },
-		"volume-mp":           func() error { return r.FigureVolumeMP(os.Stdout) },
-		"rate-over-time":      func() error { return r.FigureRateOverTime(os.Stdout, *procs) },
-		"validation":          func() error { return r.FigureSyntheticValidation(os.Stdout, *procs) },
-		"latency-load":        func() error { return r.FigureLatencyLoad(os.Stdout, *procs) },
-		"analytic":            func() error { return r.FigureAnalyticModel(os.Stdout, *procs) },
-		"ablation-contention": func() error { return r.AblationContention(os.Stdout, *procs) },
-		"ablation-vc":         func() error { return r.AblationVirtualChannels(os.Stdout) },
-		"ablation-cache":      func() error { return r.AblationCacheGeometry(os.Stdout, *procs) },
-		"ablation-barrier":    func() error { return r.AblationBarrier(os.Stdout, *procs) },
-		"ablation-topology":   func() error { return r.AblationTopology(os.Stdout) },
-		"ablation-protocol":   func() error { return r.AblationProtocol(os.Stdout, *procs) },
-		"ablation-routing":    func() error { return r.AblationRouting(os.Stdout, *procs) },
-	}
-	for name, fn := range steps {
-		if strings.EqualFold(name, *only) || strings.Contains(strings.ToLower(name), strings.ToLower(*only)) {
-			if err := fn(); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-				os.Exit(1)
+	steps := r.Steps(*procs)
+	if *only != "" {
+		var picked []experiments.Step
+		for _, s := range steps {
+			if strings.EqualFold(s.Key, *only) ||
+				strings.Contains(strings.ToLower(s.Key), strings.ToLower(*only)) {
+				picked = append(picked, s)
+				break
 			}
-			return
 		}
+		if len(picked) == 0 {
+			var b strings.Builder
+			fmt.Fprintf(&b, "no experiment matches %q; options:", *only)
+			for _, s := range steps {
+				fmt.Fprintf(&b, "\n  %s", s.Key)
+			}
+			return cli.Usagef("%s", b.String())
+		}
+		steps = picked
 	}
-	fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q; options:\n", *only)
-	for name := range steps {
-		fmt.Fprintf(os.Stderr, "  %s\n", name)
-	}
-	os.Exit(2)
+	return experiments.RunSteps(stdout, steps)
 }

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"commchar/internal/cli"
 	"commchar/internal/report"
 	"commchar/internal/stats"
 )
@@ -45,35 +46,38 @@ func readSamples(r io.Reader) ([]float64, error) {
 	return out, sc.Err()
 }
 
-func main() {
-	in := flag.String("in", "", "input file (default: stdin)")
-	overlay := flag.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
-	flag.Parse()
+func main() { cli.Main("fitdist", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fitdist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input file (default: stdin)")
+	overlay := fs.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
 	xs, err := readSamples(r)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	sum := stats.Summarize(xs)
-	fmt.Printf("n=%d mean=%.6g sd=%.6g cv=%.4g min=%.6g median=%.6g max=%.6g\n\n",
+	fmt.Fprintf(stdout, "n=%d mean=%.6g sd=%.6g cv=%.4g min=%.6g median=%.6g max=%.6g\n\n",
 		sum.N, sum.Mean, sum.StdDev, sum.CV, sum.Min, sum.Median, sum.Max)
 
 	fits, err := stats.FitInterarrival(xs)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fitdist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	t := &report.Table{
 		Title:   "Candidate families (best first)",
@@ -86,12 +90,13 @@ func main() {
 			fmt.Sprintf("%.1f", f.Chi.Statistic),
 			fmt.Sprintf("%.4f", f.Chi.PValue))
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 
 	if *overlay {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		best := fits[0]
-		report.CDFOverlay(os.Stdout,
+		report.CDFOverlay(stdout,
 			fmt.Sprintf("Measured vs %s", best.Dist), xs, best.Dist, 20, 44)
 	}
+	return nil
 }

@@ -1,49 +1,80 @@
 // Command meshsim replays an application-level communication trace (CSV,
 // as written by trace.Trace.WriteCSV) through the 2-D wormhole mesh
 // simulator, honouring send/receive dependencies, and reports network
-// metrics. Optionally it writes the delivery log for offline analysis.
+// metrics. Optionally it injects faults from a deterministic schedule and
+// writes the delivery log for offline analysis.
 //
 // Usage:
 //
-//	meshsim -trace app.csv -ranks 16 [-width 4 -height 4] [-sp2] [-vcs 1] [-out deliveries.csv]
+//	meshsim -trace app.csv -ranks 16 [-width 4 -height 4] [-sp2] [-vcs 1]
+//	        [-faults "drop:0.01;down:1<->2@1ms-2ms"] [-fault-seed 1]
+//	        [-max-events N] [-max-sim-ms MS] [-max-wall D] [-out deliveries.csv]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"commchar/internal/cli"
+	"commchar/internal/fault"
 	"commchar/internal/mesh"
+	"commchar/internal/report"
 	"commchar/internal/sim"
 	"commchar/internal/sp2"
 	"commchar/internal/trace"
 	"commchar/internal/workload"
 )
 
-func main() {
-	traceFile := flag.String("trace", "", "trace CSV file (required)")
-	ranks := flag.Int("ranks", 16, "number of ranks in the trace")
-	width := flag.Int("width", 0, "mesh width (default: derived from ranks)")
-	height := flag.Int("height", 0, "mesh height")
-	useSP2 := flag.Bool("sp2", false, "charge IBM SP2 software overheads during replay")
-	vcs := flag.Int("vcs", 1, "virtual channels per link")
-	out := flag.String("out", "", "write the delivery log (CSV) to this file")
-	flag.Parse()
+func main() { cli.Main("meshsim", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("meshsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceFile := fs.String("trace", "", "trace CSV file (required)")
+	ranks := fs.Int("ranks", 16, "number of ranks in the trace")
+	width := fs.Int("width", 0, "mesh width (default: derived from ranks)")
+	height := fs.Int("height", 0, "mesh height")
+	useSP2 := fs.Bool("sp2", false, "charge IBM SP2 software overheads during replay")
+	vcs := fs.Int("vcs", 1, "virtual channels per link")
+	faults := fs.String("faults", "", "fault schedule, e.g. 'drop:0.01;down:1<->2@1ms-2ms' (see internal/fault)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed of the fault schedule (same seed => identical run)")
+	maxEvents := fs.Int64("max-events", 0, "watchdog: abort after this many simulation events (0 = unlimited)")
+	maxSimMS := fs.Float64("max-sim-ms", 0, "watchdog: abort past this simulated time in ms (0 = unlimited)")
+	maxWall := fs.Duration("max-wall", 0, "watchdog: abort after this much wall-clock time (0 = unlimited)")
+	out := fs.String("out", "", "write the delivery log (CSV) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "meshsim: -trace required")
-		os.Exit(2)
+		return cli.Usagef("-trace required")
+	}
+	var sched *fault.Schedule
+	if *faults != "" {
+		var err error
+		sched, err = fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			return cli.Usagef("-faults: %v", err)
+		}
 	}
 	f, err := os.Open(*traceFile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	tr, err := trace.ReadCSV(f, *ranks)
 	f.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
-		os.Exit(1)
+		var te *trace.TruncatedError
+		if errors.As(err, &te) {
+			// Salvageable: replay the clean prefix, but say so.
+			fmt.Fprintf(stderr, "meshsim: warning: %v; replaying the %d-event prefix\n",
+				err, tr.TotalEvents())
+		} else {
+			return err
+		}
 	}
 
 	w, h := *width, *height
@@ -59,36 +90,49 @@ func main() {
 
 	s := sim.New()
 	net := mesh.New(s, cfg)
+	if sched != nil {
+		net.SetFaults(sched)
+	}
 	var cost trace.CostModel
 	if *useSP2 {
 		cost = sp2.Default()
 	}
 	if err := trace.Replay(s, net, tr, cost); err != nil {
-		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	s.Run()
+	s.SetWatchdog(sim.Watchdog{
+		MaxEvents:  *maxEvents,
+		MaxSimTime: sim.Time(*maxSimMS * 1e6),
+		MaxWall:    *maxWall,
+	})
+	if err := s.RunChecked(); err != nil {
+		return err
+	}
 
 	m := workload.MeasureLog(net.Log(), s.Now(), net.MeanUtilization())
-	fmt.Printf("mesh          : %dx%d, %d VCs, %v flit cycle\n", w, h, *vcs, cfg.CycleTime)
-	fmt.Printf("messages      : %d\n", m.Messages)
-	fmt.Printf("simulated time: %.3f ms\n", float64(s.Now())/1e6)
-	fmt.Printf("mean latency  : %.0f ns\n", m.MeanLatencyNS)
-	fmt.Printf("mean blocked  : %.0f ns\n", m.MeanBlockedNS)
-	fmt.Printf("mean hops     : %.2f\n", m.MeanHops)
-	fmt.Printf("mean link util: %.4f\n", m.MeanUtilization)
+	fmt.Fprintf(stdout, "mesh          : %dx%d, %d VCs, %v flit cycle\n", w, h, *vcs, cfg.CycleTime)
+	fmt.Fprintf(stdout, "messages      : %d\n", m.Messages)
+	fmt.Fprintf(stdout, "simulated time: %.3f ms\n", float64(s.Now())/1e6)
+	fmt.Fprintf(stdout, "mean latency  : %.0f ns\n", m.MeanLatencyNS)
+	fmt.Fprintf(stdout, "mean blocked  : %.0f ns\n", m.MeanBlockedNS)
+	fmt.Fprintf(stdout, "mean hops     : %.2f\n", m.MeanHops)
+	fmt.Fprintf(stdout, "mean link util: %.4f\n", m.MeanUtilization)
+	if sched != nil {
+		report.FaultSummary(stdout, net.Log(), net.Failures())
+		c := sched.Counters()
+		fmt.Fprintf(stdout, "injector      : %d drops, %d corruptions\n", c.Drops, c.Corruptions)
+	}
 
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer of.Close()
 		if err := trace.WriteDeliveries(of, net.Log()); err != nil {
-			fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("delivery log written to %s\n", *out)
+		fmt.Fprintf(stdout, "delivery log written to %s\n", *out)
 	}
+	return nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commchar/internal/cli"
+	"commchar/internal/sim"
+	"commchar/internal/trace"
+)
+
+// writeRingTrace writes a balanced 4-rank ring trace (each rank sends to
+// its successor, receives from its predecessor, rounds times) and returns
+// its path.
+func writeRingTrace(t *testing.T, rounds int) string {
+	t.Helper()
+	tr := trace.New(4)
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i < rounds; i++ {
+			tr.Add(rank, trace.Event{Op: trace.OpSend, Peer: (rank + 1) % 4, Bytes: 64, Tag: i, Compute: sim.Duration(500 * (rank + 1))})
+			tr.Add(rank, trace.Event{Op: trace.OpRecv, Peer: (rank + 3) % 4, Tag: i})
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ring.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFaultRunDeterministic is the acceptance check: a fault-injected run
+// with message drops and retransmissions produces byte-identical delivery
+// logs when repeated with the same seed, and the log flags the faulted
+// messages.
+func TestFaultRunDeterministic(t *testing.T) {
+	tracePath := writeRingTrace(t, 25)
+	logOnce := func(seed string) ([]byte, string) {
+		out := filepath.Join(t.TempDir(), "deliveries.csv")
+		var stdout, stderr bytes.Buffer
+		err := run([]string{
+			"-trace", tracePath, "-ranks", "4", "-width", "2", "-height", "2",
+			"-faults", "drop:0.2", "-fault-seed", seed,
+			"-max-events", "5000000", "-out", out,
+		}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("run failed: %v\n%s", err, stderr.String())
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, stdout.String()
+	}
+
+	a, reportA := logOnce("7")
+	b, _ := logOnce("7")
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal-seed runs produced different delivery logs")
+	}
+	c, _ := logOnce("8")
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical delivery logs")
+	}
+
+	log, err := trace.ReadDeliveries(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("reading log back: %v", err)
+	}
+	var flagged int
+	for _, d := range log {
+		if d.Faults != 0 {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("p=0.2 drop schedule left no flagged messages")
+	}
+	if !bytes.Contains([]byte(reportA), []byte("faulted msgs")) {
+		t.Errorf("report missing fault summary:\n%s", reportA)
+	}
+}
+
+// TestUsageErrors: command-line mistakes map to usage errors (exit 2), not
+// runtime failures.
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out, &out)
+	var ue *cli.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("missing -trace: expected UsageError, got %v", err)
+	}
+	err = run([]string{"-trace", "x.csv", "-faults", "nonsense"}, &out, &out)
+	if !errors.As(err, &ue) {
+		t.Fatalf("bad -faults: expected UsageError, got %v", err)
+	}
+}

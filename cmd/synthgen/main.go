@@ -13,24 +13,31 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"commchar/internal/apps"
+	"commchar/internal/cli"
 	"commchar/internal/core"
+	"commchar/internal/sim"
 	"commchar/internal/trace"
 	"commchar/internal/workload"
-
-	"commchar/internal/sim"
 )
 
-func main() {
-	app := flag.String("app", "", "application name to characterize and regenerate")
-	logFile := flag.String("log", "", "delivery-log CSV to characterize instead of running an app")
-	procs := flag.Int("procs", 16, "number of processors")
-	scale := flag.String("scale", "full", "problem scale: full or small")
-	seed := flag.Uint64("seed", 1, "random seed for the synthetic generator")
-	elapsedMS := flag.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
-	flag.Parse()
+func main() { cli.Main("synthgen", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "", "application name to characterize and regenerate")
+	logFile := fs.String("log", "", "delivery-log CSV to characterize instead of running an app")
+	procs := fs.Int("procs", 16, "number of processors")
+	scale := fs.String("scale", "full", "problem scale: full or small")
+	seed := fs.Uint64("seed", 1, "random seed for the synthetic generator")
+	elapsedMS := fs.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var c *core.Characterization
 	switch {
@@ -41,55 +48,48 @@ func main() {
 		}
 		w, err := apps.ByName(sc, *app)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-			os.Exit(2)
+			return cli.Usagef("%v", err)
 		}
 		c, err = w.Characterize(*procs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	case *logFile != "":
 		if *elapsedMS <= 0 {
-			fmt.Fprintln(os.Stderr, "synthgen: -elapsed-ms required with -log")
-			os.Exit(2)
+			return cli.Usagef("-elapsed-ms required with -log")
 		}
 		f, err := os.Open(*logFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		log, err := trace.ReadDeliveries(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		c, err = core.Analyze(*logFile, core.StrategyStatic, log, *procs,
 			sim.Time(*elapsedMS*1e6), 0)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "synthgen: one of -app or -log required")
-		os.Exit(2)
+		return cli.Usagef("one of -app or -log required")
 	}
 
 	v, err := workload.Validate(c, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	best := c.BestAggregate()
-	fmt.Printf("characterized %s: %d messages, aggregate model %s (R²=%.4f)\n\n",
+	fmt.Fprintf(stdout, "characterized %s: %d messages, aggregate model %s (R²=%.4f)\n\n",
 		c.Name, c.Messages, best.Dist, best.R2)
-	fmt.Printf("%-22s %14s %14s %8s\n", "metric", "original", "synthetic", "rel.err")
-	fmt.Printf("%-22s %14.4f %14.4f %8.3f\n", "msg rate (msg/us)",
+	fmt.Fprintf(stdout, "%-22s %14s %14s %8s\n", "metric", "original", "synthetic", "rel.err")
+	fmt.Fprintf(stdout, "%-22s %14.4f %14.4f %8.3f\n", "msg rate (msg/us)",
 		v.Original.MessageRate, v.Synthetic.MessageRate, v.RateErr)
-	fmt.Printf("%-22s %14.0f %14.0f %8.3f\n", "mean latency (ns)",
+	fmt.Fprintf(stdout, "%-22s %14.0f %14.0f %8.3f\n", "mean latency (ns)",
 		v.Original.MeanLatencyNS, v.Synthetic.MeanLatencyNS, v.LatencyErr)
-	fmt.Printf("%-22s %14.4f %14.4f %8.3f\n", "mean link utilization",
+	fmt.Fprintf(stdout, "%-22s %14.4f %14.4f %8.3f\n", "mean link utilization",
 		v.Original.MeanUtilization, v.Synthetic.MeanUtilization, v.UtilErr)
+	return nil
 }

@@ -1,0 +1,84 @@
+// Package cli is the shared command-line harness of the cmd/ tools. Every
+// tool implements run(args, stdout, stderr) error; this package maps the
+// returned error onto the conventional exit codes (2 for usage mistakes, 1
+// for runtime failures) and converts panics escaping a tool into structured
+// errors instead of raw crashes, so a broken sub-step degrades gracefully.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+)
+
+// UsageError marks a command-line mistake (bad flag value, missing
+// argument); tools exit with status 2 on it.
+type UsageError struct {
+	Msg string
+}
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a *UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// PanicError is a panic converted into an error at a recovery boundary. It
+// keeps the panic value and the stack of the panicking goroutine so the
+// failure stays diagnosable after recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal error: panic: %v", e.Value)
+}
+
+// Protect runs fn, converting a panic into a *PanicError. It is the
+// recovery boundary the tools and the experiment pipeline wrap around
+// sub-steps so one failing step cannot take down the whole run.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// ExitCode maps an error from run onto the process exit status: 0 for nil
+// (and for -h/-help), 2 for usage errors, 1 for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		var ue *UsageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
+// Main is the shared main() body: it runs the tool under the panic
+// recovery boundary, reports the error, and exits with the conventional
+// status. A *PanicError additionally dumps the captured stack.
+func Main(name string, run func(args []string, stdout, stderr io.Writer) error) {
+	err := Protect(func() error {
+		return run(os.Args[1:], os.Stdout, os.Stderr)
+	})
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			os.Stderr.Write(pe.Stack)
+		}
+	}
+	os.Exit(ExitCode(err))
+}

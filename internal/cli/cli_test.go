@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"clean", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"usage", Usagef("-trace required"), 2},
+		{"wrapped usage", errors.Join(errors.New("ctx"), Usagef("bad")), 2},
+		{"runtime", errors.New("boom"), 1},
+		{"panic", &PanicError{Value: "boom"}, 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: exit %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestProtectConvertsPanics(t *testing.T) {
+	err := Protect(func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected PanicError, got %v", err)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Errorf("panic value lost: %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("stack not captured")
+	}
+}
+
+func TestProtectPassesThrough(t *testing.T) {
+	want := errors.New("plain failure")
+	if err := Protect(func() error { return want }); err != want {
+		t.Fatalf("got %v", err)
+	}
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("got %v", err)
+	}
+}

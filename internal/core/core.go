@@ -84,6 +84,11 @@ type Characterization struct {
 
 	// Log retains the raw deliveries for downstream analysis.
 	Log []mesh.Delivery
+
+	// Trace is the application-level communication trace, when the
+	// strategy records one (static strategy only; nil otherwise). It can
+	// be re-replayed offline, e.g. through meshsim's fault injection.
+	Trace *trace.Trace
 }
 
 // minSourceSamples is the fewest inter-arrival samples worth fitting.
@@ -241,7 +246,12 @@ func CharacterizeMessagePassing(name string, procs int, cost trace.CostModel, ru
 		return nil, fmt.Errorf("core: %s: %w", name, err)
 	}
 	s.Run()
-	return Analyze(name, StrategyStatic, net.Log(), procs, s.Now(), net.MeanUtilization())
+	c, err := Analyze(name, StrategyStatic, net.Log(), procs, s.Now(), net.MeanUtilization())
+	if err != nil {
+		return nil, err
+	}
+	c.Trace = tr
+	return c, nil
 }
 
 // MeshFor returns the reproduction's standard mesh geometry for n

@@ -8,8 +8,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"commchar/internal/apps"
+	"commchar/internal/cli"
 	"commchar/internal/core"
 	"commchar/internal/mesh"
 	"commchar/internal/report"
@@ -380,40 +382,88 @@ func (r *Runner) AblationCacheGeometry(w io.Writer, procs int) error {
 	return nil
 }
 
-// All regenerates every table, figure, and ablation in order.
-func (r *Runner) All(w io.Writer, procs int) error {
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{"Table 1", func() error { return r.Table1(w, procs) }},
-		{"Table 2", func() error { return r.Table2(w, procs) }},
-		{"Table 3", func() error { return r.Table3(w, procs) }},
-		{"Table 4", func() error { return r.Table4(w, procs) }},
-		{"Table 5", func() error { return r.Table5(w, procs) }},
-		{"Table 6", func() error { return r.Table6(w, procs) }},
-		{"Table 7", func() error { return r.Table7(w, procs) }},
-		{"Figure: inter-arrival CDFs", func() error { return r.FigureInterarrivalSM(w, procs) }},
-		{"Figure: spatial (shared memory)", func() error { return r.FigureSpatialSM(w) }},
-		{"Figure: spatial (message passing)", func() error { return r.FigureSpatialMP(w) }},
-		{"Figure: volume (message passing)", func() error { return r.FigureVolumeMP(w) }},
-		{"Figure: generation rate over time", func() error { return r.FigureRateOverTime(w, procs) }},
-		{"Figure: synthetic validation", func() error { return r.FigureSyntheticValidation(w, procs) }},
-		{"Figure: latency vs offered load", func() error { return r.FigureLatencyLoad(w, procs) }},
-		{"Figure: analytic model validation", func() error { return r.FigureAnalyticModel(w, procs) }},
-		{"Ablation: contention", func() error { return r.AblationContention(w, procs) }},
-		{"Ablation: virtual channels", func() error { return r.AblationVirtualChannels(w) }},
-		{"Ablation: cache geometry", func() error { return r.AblationCacheGeometry(w, procs) }},
-		{"Ablation: barrier algorithm", func() error { return r.AblationBarrier(w, procs) }},
-		{"Ablation: topology", func() error { return r.AblationTopology(w) }},
-		{"Ablation: coherence protocol", func() error { return r.AblationProtocol(w, procs) }},
-		{"Ablation: routing algorithm", func() error { return r.AblationRouting(w, procs) }},
+// Step is one regenerable unit of the evaluation: a table, figure, or
+// ablation. Key is the short selector used by the -only flag.
+type Step struct {
+	Name string
+	Key  string
+	Run  func(w io.Writer) error
+}
+
+// Steps returns every table, figure, and ablation of the evaluation, in
+// presentation order.
+func (r *Runner) Steps(procs int) []Step {
+	return []Step{
+		{"Table 1", "Table 1", func(w io.Writer) error { return r.Table1(w, procs) }},
+		{"Table 2", "Table 2", func(w io.Writer) error { return r.Table2(w, procs) }},
+		{"Table 3", "Table 3", func(w io.Writer) error { return r.Table3(w, procs) }},
+		{"Table 4", "Table 4", func(w io.Writer) error { return r.Table4(w, procs) }},
+		{"Table 5", "Table 5", func(w io.Writer) error { return r.Table5(w, procs) }},
+		{"Table 6", "Table 6", func(w io.Writer) error { return r.Table6(w, procs) }},
+		{"Table 7", "Table 7", func(w io.Writer) error { return r.Table7(w, procs) }},
+		{"Figure: inter-arrival CDFs", "interarrival", func(w io.Writer) error { return r.FigureInterarrivalSM(w, procs) }},
+		{"Figure: spatial (shared memory)", "spatial-sm", func(w io.Writer) error { return r.FigureSpatialSM(w) }},
+		{"Figure: spatial (message passing)", "spatial-mp", func(w io.Writer) error { return r.FigureSpatialMP(w) }},
+		{"Figure: volume (message passing)", "volume-mp", func(w io.Writer) error { return r.FigureVolumeMP(w) }},
+		{"Figure: generation rate over time", "rate-over-time", func(w io.Writer) error { return r.FigureRateOverTime(w, procs) }},
+		{"Figure: synthetic validation", "validation", func(w io.Writer) error { return r.FigureSyntheticValidation(w, procs) }},
+		{"Figure: latency vs offered load", "latency-load", func(w io.Writer) error { return r.FigureLatencyLoad(w, procs) }},
+		{"Figure: analytic model validation", "analytic", func(w io.Writer) error { return r.FigureAnalyticModel(w, procs) }},
+		{"Ablation: contention", "ablation-contention", func(w io.Writer) error { return r.AblationContention(w, procs) }},
+		{"Ablation: virtual channels", "ablation-vc", func(w io.Writer) error { return r.AblationVirtualChannels(w) }},
+		{"Ablation: cache geometry", "ablation-cache", func(w io.Writer) error { return r.AblationCacheGeometry(w, procs) }},
+		{"Ablation: barrier algorithm", "ablation-barrier", func(w io.Writer) error { return r.AblationBarrier(w, procs) }},
+		{"Ablation: topology", "ablation-topology", func(w io.Writer) error { return r.AblationTopology(w) }},
+		{"Ablation: coherence protocol", "ablation-protocol", func(w io.Writer) error { return r.AblationProtocol(w, procs) }},
+		{"Ablation: routing algorithm", "ablation-routing", func(w io.Writer) error { return r.AblationRouting(w, procs) }},
 	}
+}
+
+// StepFailure records one failed step of a sweep.
+type StepFailure struct {
+	Name string
+	Err  error
+}
+
+// SweepError aggregates the failures of a sweep that kept going: the
+// successful steps' output was already emitted, and this names what was
+// lost.
+type SweepError struct {
+	Failed []StepFailure
+	Total  int
+}
+
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d of %d steps failed:", len(e.Failed), e.Total)
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, "\n  %s: %v", f.Name, f.Err)
+	}
+	return b.String()
+}
+
+// RunSteps runs each step under a panic recovery boundary and keeps going
+// past failures, so one broken experiment cannot suppress the rest of the
+// sweep's results. It returns a *SweepError naming the failed steps, or
+// nil if everything passed.
+func RunSteps(w io.Writer, steps []Step) error {
+	var failed []StepFailure
 	for _, s := range steps {
-		fmt.Fprintf(w, "\n================ %s ================\n", s.name)
-		if err := s.fn(); err != nil {
-			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		fmt.Fprintf(w, "\n================ %s ================\n", s.Name)
+		err := cli.Protect(func() error { return s.Run(w) })
+		if err != nil {
+			fmt.Fprintf(w, "FAILED: %v (continuing)\n", err)
+			failed = append(failed, StepFailure{Name: s.Name, Err: err})
 		}
 	}
+	if len(failed) > 0 {
+		return &SweepError{Failed: failed, Total: len(steps)}
+	}
 	return nil
+}
+
+// All regenerates every table, figure, and ablation in order, continuing
+// past individual failures.
+func (r *Runner) All(w io.Writer, procs int) error {
+	return RunSteps(w, r.Steps(procs))
 }

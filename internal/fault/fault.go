@@ -1,0 +1,334 @@
+// Package fault provides the deterministic, seedable fault schedule
+// injected into the mesh simulator: transient and permanent link outages,
+// in-transit message drops, corrupted-length deliveries, and slow-link
+// degradation. A Schedule implements mesh.Injector; every probabilistic
+// decision is a pure hash of (seed, message, attempt, hop), never a shared
+// random stream, so two runs with the same seed produce byte-identical
+// delivery logs regardless of event interleaving.
+//
+// Schedules are written as compact specs, e.g.
+//
+//	down:1->2@1ms-2ms         transient outage of link 1->2 during [1ms,2ms)
+//	down:1->2@1ms             permanent failure of link 1->2 from 1ms on
+//	down:1<->2@1ms            both directions
+//	drop:0.01                 drop each hop traversal with probability 0.01
+//	drop:0.05@0-500us         only during the first 500us
+//	corrupt:0.001             corrupt a delivery with probability 0.001
+//	slow:3->4:x4@0-2ms        link 3->4 runs 4x slower during [0,2ms)
+//
+// joined with ';', e.g. "drop:0.01;down:5->6@1ms".
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+)
+
+// Kind is the class of an injected fault.
+type Kind int
+
+const (
+	// KindDown takes a link out of service for a window (or forever).
+	KindDown Kind = iota
+	// KindDrop loses individual hop traversals with a probability.
+	KindDrop
+	// KindCorrupt delivers a message length-corrupted with a probability.
+	KindCorrupt
+	// KindSlow multiplies a link's per-hop time by a factor.
+	KindSlow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDown:
+		return "down"
+	case KindDrop:
+		return "drop"
+	case KindCorrupt:
+		return "corrupt"
+	case KindSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Rule is one entry of a fault schedule.
+type Rule struct {
+	Kind     Kind
+	From, To int  // link endpoints; -1 for any (drop/corrupt)
+	Both     bool // also apply to the reverse direction
+	Prob     float64
+	Factor   int      // slow-down multiplier (KindSlow)
+	Start    sim.Time // window start (inclusive)
+	End      sim.Time // window end (exclusive); 0 = open-ended
+}
+
+// active reports whether the rule applies at time now.
+func (r Rule) active(now sim.Time) bool {
+	return now >= r.Start && (r.End == 0 || now < r.End)
+}
+
+// matches reports whether the rule covers link from->to.
+func (r Rule) matches(from, to int) bool {
+	if r.From < 0 {
+		return true
+	}
+	return (r.From == from && r.To == to) || (r.Both && r.From == to && r.To == from)
+}
+
+// Counters tallies the injector's probabilistic decisions, for reporting.
+// Outage and reroute effects are visible in the delivery log's fault flags
+// instead: LinkFault is also consulted during route planning, so counting
+// queries here would overstate them.
+type Counters struct {
+	Drops       int64 // traversals lost by drop rules
+	Corruptions int64 // deliveries corrupted
+}
+
+// Schedule is a seeded fault schedule; it implements mesh.Injector.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+
+	counters Counters
+}
+
+// New returns an empty schedule with the given seed.
+func New(seed uint64) *Schedule {
+	return &Schedule{Seed: seed}
+}
+
+// Add appends a rule and returns the schedule for chaining.
+func (s *Schedule) Add(r Rule) *Schedule {
+	s.Rules = append(s.Rules, r)
+	return s
+}
+
+// Counters returns a snapshot of the injector's decision tallies.
+func (s *Schedule) Counters() Counters { return s.counters }
+
+// mix is the splitmix64 finalizer: a high-quality bijective hash.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hash01 maps the inputs to a uniform variate in [0, 1), deterministically
+// in (seed, inputs) only.
+func (s *Schedule) hash01(vals ...uint64) float64 {
+	h := s.Seed ^ 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		h = mix(h ^ v)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// LinkFault implements mesh.Injector.
+func (s *Schedule) LinkFault(from, to int, now sim.Time) mesh.LinkFault {
+	var f mesh.LinkFault
+	for _, r := range s.Rules {
+		if !r.matches(from, to) || !r.active(now) {
+			continue
+		}
+		switch r.Kind {
+		case KindDown:
+			f.Down = true
+			if r.End == 0 {
+				f.Permanent = true
+			}
+		case KindSlow:
+			if r.Factor > f.SlowFactor {
+				f.SlowFactor = r.Factor
+			}
+		}
+	}
+	return f
+}
+
+// Drop implements mesh.Injector: each (message, attempt, hop) traversal is
+// an independent, hash-derived Bernoulli trial per drop rule.
+func (s *Schedule) Drop(msgID int64, attempt, hop, from, to int, now sim.Time) bool {
+	for i, r := range s.Rules {
+		if r.Kind != KindDrop || !r.matches(from, to) || !r.active(now) {
+			continue
+		}
+		if s.hash01(uint64(i), uint64(msgID), uint64(attempt), uint64(hop)) < r.Prob {
+			s.counters.Drops++
+			return true
+		}
+	}
+	return false
+}
+
+// Corrupt implements mesh.Injector: one hash-derived trial per (message,
+// attempt) and corrupt rule.
+func (s *Schedule) Corrupt(msgID int64, attempt int, now sim.Time) bool {
+	for i, r := range s.Rules {
+		if r.Kind != KindCorrupt || !r.active(now) {
+			continue
+		}
+		if s.hash01(^uint64(i), uint64(msgID), uint64(attempt)) < r.Prob {
+			s.counters.Corruptions++
+			return true
+		}
+	}
+	return false
+}
+
+var _ mesh.Injector = (*Schedule)(nil)
+
+// Parse builds a schedule from a spec string (see the package comment for
+// the grammar) and a seed.
+func Parse(spec string, seed uint64) (*Schedule, error) {
+	s := New(seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
+		}
+		s.Add(r)
+	}
+	if len(s.Rules) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule %q", spec)
+	}
+	return s, nil
+}
+
+func parseRule(text string) (Rule, error) {
+	body, window, hasWindow := strings.Cut(text, "@")
+	fields := strings.Split(body, ":")
+	r := Rule{From: -1, To: -1}
+	switch fields[0] {
+	case "down":
+		if len(fields) != 2 {
+			return r, fmt.Errorf("want down:<link>")
+		}
+		if err := parseLink(fields[1], &r); err != nil {
+			return r, err
+		}
+		r.Kind = KindDown
+	case "drop", "corrupt":
+		if len(fields) != 2 {
+			return r, fmt.Errorf("want %s:<prob>", fields[0])
+		}
+		p, err := parseProb(fields[1])
+		if err != nil {
+			return r, err
+		}
+		r.Prob = p
+		r.Kind = KindDrop
+		if fields[0] == "corrupt" {
+			r.Kind = KindCorrupt
+		}
+	case "slow":
+		if len(fields) != 3 {
+			return r, fmt.Errorf("want slow:<link>:x<factor>")
+		}
+		if err := parseLink(fields[1], &r); err != nil {
+			return r, err
+		}
+		factor, err := strconv.Atoi(strings.TrimPrefix(fields[2], "x"))
+		if err != nil || factor < 2 {
+			return r, fmt.Errorf("bad slow factor %q", fields[2])
+		}
+		r.Kind = KindSlow
+		r.Factor = factor
+	default:
+		return r, fmt.Errorf("unknown fault kind %q", fields[0])
+	}
+	if hasWindow {
+		start, end, err := parseWindow(window)
+		if err != nil {
+			return r, err
+		}
+		r.Start, r.End = start, end
+	}
+	if r.Kind == KindDown && r.End != 0 && r.End <= r.Start {
+		return r, fmt.Errorf("empty window")
+	}
+	return r, nil
+}
+
+func parseLink(text string, r *Rule) error {
+	sep := "->"
+	if strings.Contains(text, "<->") {
+		sep = "<->"
+		r.Both = true
+	}
+	from, to, ok := strings.Cut(text, sep)
+	if !ok {
+		return fmt.Errorf("bad link %q (want A->B or A<->B)", text)
+	}
+	a, err1 := strconv.Atoi(from)
+	b, err2 := strconv.Atoi(to)
+	if err1 != nil || err2 != nil || a < 0 || b < 0 || a == b {
+		return fmt.Errorf("bad link endpoints %q", text)
+	}
+	r.From, r.To = a, b
+	return nil
+}
+
+func parseProb(text string) (float64, error) {
+	text = strings.TrimPrefix(text, "p=")
+	p, err := strconv.ParseFloat(text, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q", text)
+	}
+	return p, nil
+}
+
+func parseWindow(text string) (sim.Time, sim.Time, error) {
+	startText, endText, hasEnd := strings.Cut(text, "-")
+	start, err := parseDuration(startText)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !hasEnd || endText == "" {
+		return sim.Time(start), 0, nil
+	}
+	end, err := parseDuration(endText)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.Time(start), sim.Time(end), nil
+}
+
+// parseDuration parses a simulated duration with an optional ns/us/ms/s
+// suffix; a bare number is nanoseconds.
+func parseDuration(text string) (sim.Duration, error) {
+	unit := sim.Duration(1)
+	num := text
+	for _, suffix := range []struct {
+		text string
+		mul  sim.Duration
+	}{
+		{"ns", sim.Nanosecond},
+		{"us", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	} {
+		if strings.HasSuffix(text, suffix.text) {
+			unit = suffix.mul
+			num = strings.TrimSuffix(text, suffix.text)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", text)
+	}
+	return sim.Duration(v * float64(unit)), nil
+}

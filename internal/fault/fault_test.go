@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+
+	"commchar/internal/sim"
+)
+
+func TestParseGrammar(t *testing.T) {
+	s, err := Parse("down:1->2@1ms-2ms;drop:0.01;corrupt:p=0.001;slow:3->4:x4@0-2ms;down:5<->6@500us", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 5 {
+		t.Fatalf("got %d rules", len(s.Rules))
+	}
+	r := s.Rules[0]
+	if r.Kind != KindDown || r.From != 1 || r.To != 2 || r.Start != 1_000_000 || r.End != 2_000_000 {
+		t.Errorf("down rule wrong: %+v", r)
+	}
+	if s.Rules[1].Kind != KindDrop || s.Rules[1].Prob != 0.01 || s.Rules[1].From != -1 {
+		t.Errorf("drop rule wrong: %+v", s.Rules[1])
+	}
+	if s.Rules[2].Kind != KindCorrupt || s.Rules[2].Prob != 0.001 {
+		t.Errorf("corrupt rule wrong: %+v", s.Rules[2])
+	}
+	if s.Rules[3].Kind != KindSlow || s.Rules[3].Factor != 4 || s.Rules[3].End != 2_000_000 {
+		t.Errorf("slow rule wrong: %+v", s.Rules[3])
+	}
+	last := s.Rules[4]
+	if !last.Both || last.Start != 500_000 || last.End != 0 {
+		t.Errorf("bidirectional permanent rule wrong: %+v", last)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus:1", "down:1", "down:1->1", "drop:2.0", "drop:x",
+		"slow:1->2:x1", "slow:1->2", "down:1->2@2ms-1ms", "down:a->b",
+		"drop:0.5@zzz",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestLinkFaultWindows(t *testing.T) {
+	s, err := Parse("down:1->2@1ms-2ms;slow:1->2:x3@0-1ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the outage window: slow only.
+	f := s.LinkFault(1, 2, 500_000)
+	if f.Down || f.SlowFactor != 3 {
+		t.Errorf("t=0.5ms: %+v", f)
+	}
+	// Inside the outage window: transient down, slow expired.
+	f = s.LinkFault(1, 2, 1_500_000)
+	if !f.Down || f.Permanent || f.SlowFactor != 0 {
+		t.Errorf("t=1.5ms: %+v", f)
+	}
+	// After: clean.
+	f = s.LinkFault(1, 2, 2_000_000)
+	if f.Down || f.SlowFactor != 0 {
+		t.Errorf("t=2ms: %+v", f)
+	}
+	// Other links unaffected.
+	if f := s.LinkFault(2, 1, 1_500_000); f.Down {
+		t.Errorf("reverse direction affected: %+v", f)
+	}
+}
+
+func TestPermanentDown(t *testing.T) {
+	s, _ := Parse("down:3<->4@1us", 1)
+	f := s.LinkFault(3, 4, 2_000)
+	if !f.Down || !f.Permanent {
+		t.Errorf("forward: %+v", f)
+	}
+	f = s.LinkFault(4, 3, 2_000)
+	if !f.Down || !f.Permanent {
+		t.Errorf("reverse: %+v", f)
+	}
+	if f := s.LinkFault(3, 4, 500); f.Down {
+		t.Errorf("before start: %+v", f)
+	}
+}
+
+func TestDropDeterministicAndSeedSensitive(t *testing.T) {
+	a, _ := Parse("drop:0.5", 99)
+	b, _ := Parse("drop:0.5", 99)
+	c, _ := Parse("drop:0.5", 100)
+	same, diff := 0, 0
+	for msg := int64(0); msg < 200; msg++ {
+		da := a.Drop(msg, 0, 0, 1, 2, 0)
+		if db := b.Drop(msg, 0, 0, 1, 2, 0); da != db {
+			t.Fatalf("same seed diverged at msg %d", msg)
+		}
+		if dc := c.Drop(msg, 0, 0, 1, 2, 0); da == dc {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds never diverged")
+	}
+	// At p=0.5 roughly half the 200 trials should drop.
+	drops := a.Counters().Drops
+	if drops < 60 || drops > 140 {
+		t.Errorf("p=0.5 produced %d/200 drops", drops)
+	}
+}
+
+func TestCorruptCounter(t *testing.T) {
+	s, _ := Parse("corrupt:1.0", 5)
+	if !s.Corrupt(1, 0, 0) || !s.Corrupt(2, 0, 0) {
+		t.Fatal("p=1 did not corrupt")
+	}
+	if s.Counters().Corruptions != 2 {
+		t.Fatalf("counter: %+v", s.Counters())
+	}
+}
+
+func TestDurationSuffixes(t *testing.T) {
+	for _, c := range []struct {
+		text string
+		want sim.Duration
+	}{
+		{"250", 250}, {"1ns", 1}, {"2us", 2_000}, {"3ms", 3_000_000}, {"1s", 1_000_000_000},
+		{"0.5ms", 500_000},
+	} {
+		got, err := parseDuration(c.text)
+		if err != nil || got != c.want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", c.text, got, err, c.want)
+		}
+	}
+}

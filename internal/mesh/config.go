@@ -93,6 +93,17 @@ type Config struct {
 	// LocalDelay is the latency charged to a message whose source and
 	// destination coincide (it never enters the fabric).
 	LocalDelay sim.Duration
+
+	// MaxRetries bounds the retransmissions of a message whose worm is
+	// killed by an injected fault (drop, transient outage, corruption).
+	// Only consulted when a fault injector is installed.
+	MaxRetries int
+	// RetryBase is the first retransmission backoff; attempt k waits
+	// RetryBase << k, capped at RetryCap (capped exponential backoff, in
+	// simulated time).
+	RetryBase sim.Duration
+	// RetryCap bounds the exponential backoff. 0 means uncapped.
+	RetryCap sim.Duration
 }
 
 // DefaultConfig returns the configuration used throughout the reproduction:
@@ -108,6 +119,9 @@ func DefaultConfig(width, height int) Config {
 		RouterDelay:     1,
 		VirtualChannels: 1,
 		LocalDelay:      25 * sim.Nanosecond,
+		MaxRetries:      8,
+		RetryBase:       200 * sim.Nanosecond,
+		RetryCap:        10 * sim.Microsecond,
 	}
 }
 
@@ -139,6 +153,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mesh: router delay %d invalid", c.RouterDelay)
 	case c.VirtualChannels < 1:
 		return fmt.Errorf("mesh: virtual channels %d invalid", c.VirtualChannels)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("mesh: max retries %d invalid", c.MaxRetries)
+	case c.RetryBase < 0 || c.RetryCap < 0:
+		return fmt.Errorf("mesh: negative retry backoff")
 	case c.Topology == TorusTopology && c.VirtualChannels < 2:
 		return fmt.Errorf("mesh: torus requires >= 2 virtual channels for deadlock freedom")
 	case c.Routing == RoutingWestFirst && c.Topology != MeshTopology:

@@ -1,6 +1,10 @@
 package mesh
 
-import "commchar/internal/sim"
+import (
+	"fmt"
+
+	"commchar/internal/sim"
+)
 
 // direction indexes the four outgoing physical links of a router.
 type direction int
@@ -35,6 +39,7 @@ type link struct {
 type laneState struct {
 	busy      bool
 	busySince sim.Time
+	holder    *sim.Process // worm currently holding the lane (diagnostics)
 }
 
 type linkWaiter struct {
@@ -47,36 +52,37 @@ type linkWaiter struct {
 // acquire obtains a lane on the link for process p, blocking FCFS.
 // It returns the lane index granted and the time spent waiting.
 func (l *link) acquire(p *sim.Process, lane int, now func() sim.Time) (int, sim.Duration) {
-	if got := l.tryGrant(lane, now()); got >= 0 {
+	if got := l.tryGrant(p, lane, now()); got >= 0 {
 		return got, 0
 	}
 	w := &linkWaiter{p: p, lane: lane, arrived: now(), granted: -1}
 	l.queue = append(l.queue, w)
-	p.Suspend()
+	p.SuspendOn(l)
 	return w.granted, sim.Duration(now() - w.arrived)
 }
 
 // tryGrant grants a lane immediately if one matching the request is free.
-func (l *link) tryGrant(lane int, now sim.Time) int {
+func (l *link) tryGrant(p *sim.Process, lane int, now sim.Time) int {
 	if lane == anyLane {
 		for i := range l.lanes {
 			if !l.lanes[i].busy {
-				l.grantLane(i, now)
+				l.grantLane(p, i, now)
 				return i
 			}
 		}
 		return -1
 	}
 	if !l.lanes[lane].busy {
-		l.grantLane(lane, now)
+		l.grantLane(p, lane, now)
 		return lane
 	}
 	return -1
 }
 
-func (l *link) grantLane(i int, now sim.Time) {
+func (l *link) grantLane(p *sim.Process, i int, now sim.Time) {
 	l.lanes[i].busy = true
 	l.lanes[i].busySince = now
+	l.lanes[i].holder = p
 	l.grants++
 }
 
@@ -88,15 +94,32 @@ func (l *link) release(i int, now sim.Time) {
 	}
 	l.busyLaneTime += sim.Duration(now - l.lanes[i].busySince)
 	l.lanes[i].busy = false
+	l.lanes[i].holder = nil
 	for qi, w := range l.queue {
 		if w.lane == anyLane || w.lane == i {
 			l.queue = append(l.queue[:qi], l.queue[qi+1:]...)
-			l.grantLane(i, now)
+			l.grantLane(w.p, i, now)
 			w.granted = i
 			sim.WakerFor(w.p).Wake()
 			return
 		}
 	}
+}
+
+// ResourceName implements sim.Resource for deadlock diagnostics.
+func (l *link) ResourceName() string {
+	return fmt.Sprintf("link %d->%d", l.from, l.to)
+}
+
+// Holders implements sim.Resource: the worms currently holding lanes.
+func (l *link) Holders() []*sim.Process {
+	var out []*sim.Process
+	for _, lane := range l.lanes {
+		if lane.busy && lane.holder != nil {
+			out = append(out, lane.holder)
+		}
+	}
+	return out
 }
 
 // load is the adaptive router's congestion estimate for this link: busy

@@ -3,6 +3,7 @@ package mesh
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"commchar/internal/sim"
 )
@@ -23,10 +24,15 @@ type Message struct {
 // all three communication attributes are characterized.
 type Delivery struct {
 	Message
-	End     sim.Time     // tail flit delivered at the destination
+	End     sim.Time     // tail flit delivered at the destination (or give-up time)
 	Latency sim.Duration // End - Inject
 	Blocked sim.Duration // time the head spent waiting on busy channels
 	Hops    int          // physical links traversed
+
+	// Fault bookkeeping (all zero on fault-free runs).
+	Retries int            // retransmission attempts before success/failure
+	Faults  FaultFlags     // fault classes encountered
+	Status  DeliveryStatus // delivered, or failed (partitioned/exhausted)
 }
 
 // hop is one step of a precomputed route: which link, and on which lane
@@ -47,6 +53,10 @@ type Network struct {
 	inFlight  int
 	onIdle    []func()
 	delivered int64
+
+	faults   Injector          // nil on fault-free runs
+	failures []error           // ErrPartitioned / ErrExhausted, in give-up order
+	pending  map[int64]Message // injected but not yet completed, for diagnostics
 }
 
 // New builds the network on the given simulator. It panics on an invalid
@@ -56,7 +66,8 @@ func New(s *sim.Simulator, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{sim: s, cfg: cfg}
+	n := &Network{sim: s, cfg: cfg, pending: map[int64]Message{}}
+	s.AddDiagnostic("mesh", n.diagnostic)
 	n.links = make([][]*link, cfg.Nodes())
 	id := 0
 	mkLink := func(from, to int) *link {
@@ -103,6 +114,64 @@ func New(s *sim.Simulator, cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetFaults installs a fault injector consulted on every hop and delivery.
+// Pass nil to disable injection. Must be set before the run starts.
+func (n *Network) SetFaults(inj Injector) { n.faults = inj }
+
+// Failures returns the structured errors (*ErrPartitioned, *ErrExhausted)
+// for every message the network gave up on, in give-up order.
+func (n *Network) Failures() []error {
+	out := make([]error, len(n.failures))
+	copy(out, n.failures)
+	return out
+}
+
+// diagnostic dumps the network state for watchdog/deadlock reports:
+// in-flight messages and occupied or contended links.
+func (n *Network) diagnostic() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  in-flight: %d messages, delivered: %d, failed: %d",
+		n.inFlight, n.delivered, len(n.failures))
+	ids := make([]int64, 0, len(n.pending))
+	for id := range n.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	const maxLines = 20
+	for i, id := range ids {
+		if i == maxLines {
+			fmt.Fprintf(&b, "\n  ... %d more pending messages", len(ids)-maxLines)
+			break
+		}
+		m := n.pending[id]
+		fmt.Fprintf(&b, "\n  pending msg %d: %d->%d, %d bytes, injected t=%d", m.ID, m.Src, m.Dst, m.Bytes, m.Inject)
+	}
+	lines := 0
+	for _, ports := range n.links {
+		for _, l := range ports {
+			if l == nil {
+				continue
+			}
+			busy := 0
+			for _, lane := range l.lanes {
+				if lane.busy {
+					busy++
+				}
+			}
+			if busy == 0 && len(l.queue) == 0 {
+				continue
+			}
+			if lines == maxLines {
+				fmt.Fprintf(&b, "\n  ... more occupied links elided")
+				return b.String()
+			}
+			lines++
+			fmt.Fprintf(&b, "\n  link %d->%d: %d/%d lanes busy, %d queued", l.from, l.to, busy, len(l.lanes), len(l.queue))
+		}
+	}
+	return b.String()
+}
 
 // NextID allocates a fresh message ID. Callers may also assign their own.
 func (n *Network) NextID() int64 {
@@ -231,6 +300,7 @@ func (n *Network) Inject(m Message, done func(Delivery)) {
 		panic(fmt.Sprintf("mesh: message %d injected at %d, before now %d", m.ID, m.Inject, n.sim.Now()))
 	}
 	n.inFlight++
+	n.pending[m.ID] = m
 	n.sim.SpawnAt(m.Inject, fmt.Sprintf("msg%d", m.ID), func(p *sim.Process) {
 		n.deliver(p, m, done)
 	})
@@ -241,40 +311,145 @@ func (n *Network) Inject(m Message, done func(Delivery)) {
 // each channel once the tail has passed it. The head's next hop comes from
 // the configured router: a precomputed dimension-order path, or per-hop
 // west-first adaptive selection.
+//
+// With a fault injector installed, a killed worm (drop, transient outage,
+// corrupted delivery) is retransmitted from the source after capped
+// exponential backoff; a permanently-failed link triggers a deterministic
+// reroute around the fault, and an unreachable destination fails the
+// message with ErrPartitioned.
 func (n *Network) deliver(p *sim.Process, m Message, done func(Delivery)) {
 	cfg := n.cfg
 	if m.Src == m.Dst {
 		p.Hold(cfg.LocalDelay)
-		n.complete(m, 0, 0, done)
+		n.complete(m, Delivery{Message: m}, done)
 		return
 	}
 
-	var nextHop func(cur int) hop
-	if cfg.Routing == RoutingWestFirst {
-		nextHop = func(cur int) hop {
-			return hop{link: n.chooseWestFirst(cur, m.Dst), lane: anyLane}
+	var blocked sim.Duration
+	var flags FaultFlags
+	for attempt := 0; ; attempt++ {
+		hops, outcome := n.attempt(p, m, attempt, &blocked, &flags)
+		d := Delivery{Message: m, Blocked: blocked, Hops: hops, Retries: attempt, Faults: flags}
+		switch outcome {
+		case wormDelivered:
+			n.complete(m, d, done)
+			return
+		case wormPartitioned:
+			d.Status = StatusFailed
+			n.failures = append(n.failures, &ErrPartitioned{
+				MsgID: m.ID, Src: m.Src, Dst: m.Dst, At: hops, Time: p.Now(),
+			})
+			d.Hops = 0
+			n.complete(m, d, done)
+			return
+		case wormKilled:
+			if attempt >= cfg.MaxRetries {
+				d.Status = StatusFailed
+				n.failures = append(n.failures, &ErrExhausted{
+					MsgID: m.ID, Src: m.Src, Dst: m.Dst, Retries: attempt, Time: p.Now(),
+				})
+				n.complete(m, d, done)
+				return
+			}
+			backoff := cfg.RetryBase << attempt
+			if cfg.RetryCap > 0 && backoff > cfg.RetryCap {
+				backoff = cfg.RetryCap
+			}
+			p.Hold(backoff)
 		}
-	} else {
-		path := n.route(m.Src, m.Dst)
-		i := 0
-		nextHop = func(int) hop {
-			h := path[i]
-			i++
-			return h
+	}
+}
+
+// wormOutcome is the result of one traversal attempt.
+type wormOutcome int
+
+const (
+	wormDelivered   wormOutcome = iota // tail reached the destination
+	wormKilled                         // dropped/outage/corrupted: retransmit
+	wormPartitioned                    // no route exists: fail the message
+)
+
+// attempt walks the worm once from source to destination. It returns the
+// hop count and the outcome; for wormPartitioned the hop count is
+// repurposed as the node where the worm ran out of routes. blocked and
+// flags accumulate across attempts.
+func (n *Network) attempt(p *sim.Process, m Message, attempt int, blocked *sim.Duration, flags *FaultFlags) (int, wormOutcome) {
+	cfg := n.cfg
+	flits := cfg.Flits(m.Bytes)
+	baseHop := cfg.CycleTime * sim.Duration(1+cfg.RouterDelay)
+
+	// Route selection. Dimension-order paths are precomputed and, when a
+	// permanently-failed link blocks them, replaced by the deterministic
+	// BFS detour; west-first picks each hop adaptively.
+	var path []hop
+	pathIdx := 0
+	usePath := cfg.Routing != RoutingWestFirst
+	if usePath {
+		path = n.route(m.Src, m.Dst)
+		if n.faults != nil && n.pathBroken(path, p.Now()) {
+			path = n.routeAvoiding(m.Src, m.Dst, p.Now())
+			if path == nil {
+				*flags |= FaultPartitioned
+				return m.Src, wormPartitioned
+			}
+			*flags |= FaultRerouted
 		}
 	}
 
-	flits := cfg.Flits(m.Bytes)
-	hopTime := cfg.CycleTime * sim.Duration(1+cfg.RouterDelay)
-	var blocked sim.Duration
-
 	var acquired []hop // hops taken, in order
 	var held []int     // lane per acquired hop; -1 after release
+	releaseAll := func() {
+		for i, lane := range held {
+			if lane >= 0 {
+				acquired[i].link.release(lane, p.Now())
+				held[i] = -1
+			}
+		}
+	}
+
 	cur := m.Src
 	for cur != m.Dst {
-		h := nextHop(cur)
+		var h hop
+		if usePath {
+			h = path[pathIdx]
+		} else {
+			h = hop{link: n.chooseWestFirst(cur, m.Dst), lane: anyLane}
+		}
+		hopTime := baseHop
+		if n.faults != nil {
+			f := n.faults.LinkFault(h.link.from, h.link.to, p.Now())
+			if f.Down {
+				if f.Permanent && usePath {
+					// Reroute around the failure from the current node,
+					// keeping the channels already acquired.
+					alt := n.routeAvoiding(cur, m.Dst, p.Now())
+					if alt == nil {
+						releaseAll()
+						*flags |= FaultPartitioned
+						return cur, wormPartitioned
+					}
+					*flags |= FaultRerouted
+					path, pathIdx = alt, 0
+					continue
+				}
+				// Transient outage (or adaptive routing, which cannot
+				// follow a detour path): kill the worm and retransmit.
+				releaseAll()
+				*flags |= FaultLinkDown
+				return len(acquired), wormKilled
+			}
+			if n.faults.Drop(m.ID, attempt, len(acquired), h.link.from, h.link.to, p.Now()) {
+				releaseAll()
+				*flags |= FaultDropped
+				return len(acquired), wormKilled
+			}
+			if f.SlowFactor > 1 {
+				*flags |= FaultSlowed
+				hopTime *= sim.Duration(f.SlowFactor)
+			}
+		}
 		lane, waited := h.link.acquire(p, h.lane, p.Now)
-		blocked += waited
+		*blocked += waited
 		acquired = append(acquired, h)
 		held = append(held, lane)
 		p.Hold(hopTime) // head crosses the link
@@ -285,8 +460,21 @@ func (n *Network) deliver(p *sim.Process, m Message, done func(Delivery)) {
 			acquired[back].link.release(held[back], p.Now())
 			held[back] = -1
 		}
+		if usePath {
+			pathIdx++
+		}
 		cur = h.link.to
 	}
+
+	// A corrupted-length delivery is detected at the destination after the
+	// worm has consumed the fabric; its channels are freed and the message
+	// is retransmitted.
+	if n.faults != nil && n.faults.Corrupt(m.ID, attempt, p.Now()) {
+		releaseAll()
+		*flags |= FaultCorrupted
+		return len(acquired), wormKilled
+	}
+
 	// Head is at the destination; the remaining flits stream in one per
 	// cycle, and trailing channels drain in pipeline order.
 	drain := sim.Duration(flits-1) * cfg.CycleTime
@@ -303,7 +491,63 @@ func (n *Network) deliver(p *sim.Process, m Message, done func(Delivery)) {
 		n.sim.At(tailPass, func() { li.release(la, n.sim.Now()) })
 	}
 	p.Hold(drain)
-	n.complete(m, blocked, len(acquired), done)
+	return len(acquired), wormDelivered
+}
+
+// pathBroken reports whether any link on the path is permanently down.
+func (n *Network) pathBroken(path []hop, now sim.Time) bool {
+	for _, h := range path {
+		f := n.faults.LinkFault(h.link.from, h.link.to, now)
+		if f.Down && f.Permanent {
+			return true
+		}
+	}
+	return false
+}
+
+// routeAvoiding computes a deterministic shortest detour from src to dst
+// over links that are not permanently down at time now: breadth-first
+// search expanding ports in fixed order, so equal-seed runs reroute
+// identically. It returns nil when the failures disconnect src from dst.
+// Detour hops use whichever virtual channel frees first.
+func (n *Network) routeAvoiding(src, dst int, now sim.Time) []hop {
+	if src == dst {
+		return nil
+	}
+	prev := make([]*link, n.cfg.Nodes())
+	visited := make([]bool, n.cfg.Nodes())
+	visited[src] = true
+	frontier := []int{src}
+	for len(frontier) > 0 && !visited[dst] {
+		var next []int
+		for _, node := range frontier {
+			for _, l := range n.links[node] {
+				if l == nil || visited[l.to] {
+					continue
+				}
+				f := n.faults.LinkFault(l.from, l.to, now)
+				if f.Down && f.Permanent {
+					continue
+				}
+				visited[l.to] = true
+				prev[l.to] = l
+				next = append(next, l.to)
+			}
+		}
+		frontier = next
+	}
+	if !visited[dst] {
+		return nil
+	}
+	var rev []hop
+	for at := dst; at != src; at = prev[at].from {
+		rev = append(rev, hop{link: prev[at], lane: anyLane})
+	}
+	path := make([]hop, len(rev))
+	for i, h := range rev {
+		path[len(rev)-1-i] = h
+	}
+	return path
 }
 
 // chooseWestFirst returns the next link under minimal west-first adaptive
@@ -335,17 +579,15 @@ func (n *Network) chooseWestFirst(cur, dst int) *link {
 	return best
 }
 
-func (n *Network) complete(m Message, blocked sim.Duration, hops int, done func(Delivery)) {
-	d := Delivery{
-		Message: m,
-		End:     n.sim.Now(),
-		Latency: sim.Duration(n.sim.Now() - m.Inject),
-		Blocked: blocked,
-		Hops:    hops,
-	}
+func (n *Network) complete(m Message, d Delivery, done func(Delivery)) {
+	d.End = n.sim.Now()
+	d.Latency = sim.Duration(n.sim.Now() - m.Inject)
 	n.log = append(n.log, d)
-	n.delivered++
+	if d.Status == StatusDelivered {
+		n.delivered++
+	}
 	n.inFlight--
+	delete(n.pending, m.ID)
 	if done != nil {
 		done(d)
 	}

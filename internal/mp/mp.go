@@ -25,6 +25,10 @@ type Config struct {
 	HWLatency sim.Duration
 	// HWPerByte is the hardware per-byte transfer time.
 	HWPerByte float64 // ns per byte
+	// Watchdog bounds the run (events, simulated time, wall clock); the
+	// zero value relies on structural deadlock detection alone, which
+	// already terminates any blocked-rank deadlock.
+	Watchdog sim.Watchdog
 }
 
 // DefaultConfig returns an SP2-like machine with the paper's validated
@@ -81,8 +85,9 @@ func NewWorld(cfg Config) *World {
 }
 
 // Run executes the SPMD kernel on every rank and returns the simulated
-// makespan. It fails if any rank is still blocked when the event calendar
-// drains (a communication deadlock in the application).
+// makespan. A communication deadlock in the application terminates the run
+// with the kernel watchdog's wait-for-graph diagnostic (who waits on whom)
+// instead of hanging; Config.Watchdog adds progress budgets on top.
 func (w *World) Run(kernel func(r *Rank)) (sim.Time, error) {
 	for _, r := range w.ranks {
 		r := r
@@ -92,7 +97,10 @@ func (w *World) Run(kernel func(r *Rank)) (sim.Time, error) {
 			r.done = true
 		})
 	}
-	w.sim.Run()
+	w.sim.SetWatchdog(w.cfg.Watchdog)
+	if err := w.sim.RunChecked(); err != nil {
+		return 0, fmt.Errorf("mp: %w", err)
+	}
 	for _, r := range w.ranks {
 		if !r.done {
 			return 0, fmt.Errorf("mp: rank %d deadlocked (blocked in communication at t=%d)", r.id, w.sim.Now())
@@ -173,11 +181,33 @@ func (r *Rank) Recv(src, tag int) (int, any) {
 	ch := channel{src: src, tag: tag}
 	for len(r.arrived[ch]) == 0 {
 		r.waiting[ch] = sim.WakerFor(r.p)
-		r.p.Suspend()
+		r.p.SuspendOn(recvWait{rank: r, src: src, tag: tag})
 	}
 	m := r.arrived[ch][0]
 	r.arrived[ch] = r.arrived[ch][1:]
 	r.p.Hold(w.cfg.Cost.RecvOverhead(m.bytes))
 	r.lastEvent = r.p.Now()
 	return m.bytes, m.payload
+}
+
+// recvWait is the sim.Resource a rank blocks on inside Recv. Its holder is
+// the peer rank that would have to send, which gives the watchdog's
+// wait-for graph the edge it needs to expose recv/recv cycles.
+type recvWait struct {
+	rank     *Rank
+	src, tag int
+}
+
+// ResourceName implements sim.Resource.
+func (w recvWait) ResourceName() string {
+	return fmt.Sprintf("message from rank %d (tag %d)", w.src, w.tag)
+}
+
+// Holders implements sim.Resource.
+func (w recvWait) Holders() []*sim.Process {
+	peer := w.rank.world.ranks[w.src]
+	if peer.p == nil || peer.done {
+		return nil
+	}
+	return []*sim.Process{peer.p}
 }

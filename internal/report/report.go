@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"commchar/internal/core"
+	"commchar/internal/mesh"
 	"commchar/internal/stats"
 )
 
@@ -308,4 +309,52 @@ func Render(w io.Writer, c *core.Characterization) {
 		}
 	}
 	VolumeFigure(w, c, 40)
+}
+
+// FaultSummary renders the fault-injection outcome of a mesh run: how much
+// of the traffic was touched by which fault class, the retransmission
+// volume, and the structured per-message failures. It prints nothing for a
+// clean log, so callers can emit it unconditionally.
+func FaultSummary(w io.Writer, log []mesh.Delivery, failures []error) {
+	flagNames := []struct {
+		bit  mesh.FaultFlags
+		name string
+	}{
+		{mesh.FaultDropped, "dropped"},
+		{mesh.FaultCorrupted, "corrupted"},
+		{mesh.FaultLinkDown, "link down"},
+		{mesh.FaultSlowed, "slowed"},
+		{mesh.FaultRerouted, "rerouted"},
+		{mesh.FaultPartitioned, "partitioned"},
+	}
+	counts := make([]int, len(flagNames))
+	var faulted, failed, retries int
+	for _, d := range log {
+		retries += d.Retries
+		if d.Status != mesh.StatusDelivered {
+			failed++
+		}
+		if d.Faults == 0 {
+			continue
+		}
+		faulted++
+		for i, f := range flagNames {
+			if d.Faults&f.bit != 0 {
+				counts[i]++
+			}
+		}
+	}
+	if faulted == 0 && failed == 0 && len(failures) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "faulted msgs  : %d of %d (%d failed, %d retransmissions)\n",
+		faulted, len(log), failed, retries)
+	for i, f := range flagNames {
+		if counts[i] > 0 {
+			fmt.Fprintf(w, "  %-11s : %d\n", f.name, counts[i])
+		}
+	}
+	for _, err := range failures {
+		fmt.Fprintf(w, "  failure     : %v\n", err)
+	}
 }

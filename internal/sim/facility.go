@@ -33,6 +33,17 @@ func NewFacility(s *Simulator, name string) *Facility {
 // Name returns the facility's name.
 func (f *Facility) Name() string { return f.name }
 
+// ResourceName implements Resource for deadlock diagnostics.
+func (f *Facility) ResourceName() string { return "facility " + f.name }
+
+// Holders implements Resource: the current holder, if any.
+func (f *Facility) Holders() []*Process {
+	if f.holder == nil {
+		return nil
+	}
+	return []*Process{f.holder}
+}
+
 // Busy reports whether the server is currently held.
 func (f *Facility) Busy() bool { return f.busy }
 
@@ -51,7 +62,7 @@ func (f *Facility) Reserve(p *Process) {
 	if len(f.waiters) > f.MaxQueue {
 		f.MaxQueue = len(f.waiters)
 	}
-	p.Suspend()
+	p.SuspendOn(f)
 	// Control returns here once grant() has woken us; bookkeeping was
 	// done by the releaser.
 }
@@ -115,6 +126,13 @@ func NewSemaphore(s *Simulator, count int) *Semaphore {
 	return &Semaphore{sim: s, count: count}
 }
 
+// ResourceName implements Resource for deadlock diagnostics.
+func (sem *Semaphore) ResourceName() string { return "semaphore" }
+
+// Holders implements Resource. A counting semaphore has no identifiable
+// holder, so the wait-for graph gains no edge here.
+func (sem *Semaphore) Holders() []*Process { return nil }
+
 // Acquire decrements the count, blocking the process while the count is zero.
 func (sem *Semaphore) Acquire(p *Process) {
 	if sem.count > 0 {
@@ -122,7 +140,7 @@ func (sem *Semaphore) Acquire(p *Process) {
 		return
 	}
 	sem.waiters = append(sem.waiters, p)
-	p.Suspend()
+	p.SuspendOn(sem)
 }
 
 // Release increments the count, waking the longest-waiting process if any.
@@ -149,6 +167,12 @@ func NewMailbox(s *Simulator) *Mailbox {
 	return &Mailbox{sim: s}
 }
 
+// ResourceName implements Resource for deadlock diagnostics.
+func (m *Mailbox) ResourceName() string { return "mailbox" }
+
+// Holders implements Resource: no specific process holds an empty mailbox.
+func (m *Mailbox) Holders() []*Process { return nil }
+
 // Len reports the number of queued items.
 func (m *Mailbox) Len() int { return len(m.items) }
 
@@ -168,7 +192,7 @@ func (m *Mailbox) Put(item any) {
 func (m *Mailbox) Get(p *Process) any {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.Suspend()
+		p.SuspendOn(m)
 	}
 	item := m.items[0]
 	m.items = m.items[1:]

@@ -13,7 +13,29 @@ type Process struct {
 	resume chan struct{}
 	yield  chan struct{}
 	ended  bool
+
+	// Blocking bookkeeping for the watchdog's wait-for graph. A process is
+	// "suspended" between SuspendOn and the wake that resumes it; blockedOn
+	// (possibly nil) names what it waits for.
+	suspended bool
+	blockedOn Resource
 }
+
+// Resource is anything a process can block on that the watchdog should be
+// able to describe: a facility, a link, a message channel. Holders returns
+// the processes that currently prevent the waiter from proceeding (the
+// wait-for graph edges); it may be empty when no specific process holds the
+// resource (e.g. an empty mailbox).
+type Resource interface {
+	ResourceName() string
+	Holders() []*Process
+}
+
+// Blocked reports whether the process is parked in Suspend/SuspendOn.
+func (p *Process) Blocked() bool { return p.suspended }
+
+// BlockedOn returns the resource the process is suspended on, or nil.
+func (p *Process) BlockedOn() Resource { return p.blockedOn }
 
 // Name returns the name given at Spawn time.
 func (p *Process) Name() string { return p.name }
@@ -39,6 +61,7 @@ func (s *Simulator) SpawnAt(t Time, name string, body func(p *Process)) *Process
 		yield:  make(chan struct{}),
 	}
 	s.live++
+	s.procs = append(s.procs, p)
 	go func() {
 		<-p.resume // wait for first activation
 		body(p)
@@ -80,10 +103,19 @@ func (p *Process) Hold(d Duration) {
 	p.block()
 }
 
-// Suspend parks the process until another party calls Wake. The returned
-// Waker is single-use.
+// Suspend parks the process until another party calls Wake.
 func (p *Process) Suspend() {
+	p.SuspendOn(nil)
+}
+
+// SuspendOn parks the process until another party calls Wake, recording the
+// resource it waits for so a deadlock diagnostic can name it. r may be nil.
+func (p *Process) SuspendOn(r Resource) {
+	p.suspended = true
+	p.blockedOn = r
 	p.block()
+	p.suspended = false
+	p.blockedOn = nil
 }
 
 // Waker resumes a suspended process at the current simulated time. It is

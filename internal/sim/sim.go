@@ -84,6 +84,29 @@ type Simulator struct {
 	// live counts spawned processes that have not terminated; it is
 	// bookkeeping only (Run drains the calendar regardless).
 	live int
+
+	// procs is the spawn-ordered registry of every process, live or ended,
+	// used by the watchdog to enumerate blocked processes deterministically.
+	procs []*Process
+
+	fired       int64 // events fired since construction
+	watchdog    Watchdog
+	diagnostics []diagnosticSource
+}
+
+type diagnosticSource struct {
+	name string
+	fn   func() string
+}
+
+// EventsFired reports the number of events fired since construction.
+func (s *Simulator) EventsFired() int64 { return s.fired }
+
+// AddDiagnostic registers a named dump included in watchdog/deadlock
+// reports — e.g. a network registers its in-flight messages and link
+// occupancy here.
+func (s *Simulator) AddDiagnostic(name string, fn func() string) {
+	s.diagnostics = append(s.diagnostics, diagnosticSource{name: name, fn: fn})
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -128,6 +151,7 @@ func (s *Simulator) Step() bool {
 			continue
 		}
 		s.now = e.at
+		s.fired++
 		e.fn()
 		return true
 	}

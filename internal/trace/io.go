@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,77 @@ import (
 	"commchar/internal/mesh"
 	"commchar/internal/sim"
 )
+
+// TruncatedError reports a structurally broken record — typically the
+// final record of a partially written log. It carries the record's line
+// number and the bytes consumed up to the last good record, so callers can
+// salvage the prefix: the reader returns everything parsed before the
+// break alongside this error.
+type TruncatedError struct {
+	Line   int   // 1-based line of the offending record
+	Offset int64 // bytes cleanly consumed before it
+	Err    error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("trace: truncated record at line %d (%d bytes consumed): %v", e.Line, e.Offset, e.Err)
+}
+
+func (e *TruncatedError) Unwrap() error { return e.Err }
+
+// recordReader streams CSV records one at a time, tracking the line number
+// and the byte offset of the last cleanly consumed record.
+type recordReader struct {
+	cr     *csv.Reader
+	record int   // records read so far (including the header)
+	offset int64 // input offset after the last good record
+	prev   int64 // input offset before the last good record
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	cr := csv.NewReader(r)
+	// Field counts are validated by the caller (legacy logs have fewer
+	// columns), not by the csv layer.
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	return &recordReader{cr: cr}
+}
+
+// next returns the following record. On a structural CSV error (bare
+// quote, unterminated field, ...) it returns a *TruncatedError.
+func (rr *recordReader) next() ([]string, error) {
+	row, err := rr.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		line := rr.record + 1
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			line = pe.Line
+		}
+		return nil, &TruncatedError{Line: line, Offset: rr.offset, Err: err}
+	}
+	rr.record++
+	rr.prev = rr.offset
+	rr.offset = rr.cr.InputOffset()
+	return row, nil
+}
+
+// truncatedIfLast classifies a bad-length record: if it is the last record
+// of the input it is a truncation (salvageable), otherwise a hard format
+// error.
+func (rr *recordReader) truncatedIfLast(got int, want string) error {
+	// The offending record was structurally valid CSV, so next() already
+	// advanced past it; the salvageable prefix ends before it.
+	line, offset := rr.record, rr.prev
+	_, err := rr.cr.Read()
+	if err == io.EOF {
+		return &TruncatedError{Line: line, Offset: offset,
+			Err: fmt.Errorf("final record has %d fields, want %s", got, want)}
+	}
+	return fmt.Errorf("trace: row %d has %d fields, want %s", line, got, want)
+}
 
 // WriteCSV serializes the trace as CSV with header
 // rank,op,peer,bytes,tag,compute_ns — one row per event, in program order.
@@ -36,25 +108,35 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV. ranks is the machine size;
-// rows may appear in any rank order but must be in program order per rank.
+// ReadCSV parses a trace written by WriteCSV, streaming record by record;
+// it never buffers the whole file. ranks is the machine size; rows may
+// appear in any rank order but must be in program order per rank. On a
+// truncated final record it returns the cleanly parsed prefix together
+// with a *TruncatedError carrying the line number and bytes consumed.
 func ReadCSV(r io.Reader, ranks int) (*Trace, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty file")
+	rr := newRecordReader(r)
+	if _, err := rr.next(); err != nil { // header
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty file")
+		}
+		return nil, err
 	}
 	t := New(ranks)
-	for i, row := range rows[1:] { // skip header
+	for {
+		row, err := rr.next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return t, err
+		}
+		rowNo := rr.record
 		if len(row) != 6 {
-			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+			return t, rr.truncatedIfLast(len(row), "6")
 		}
 		rank, err := strconv.Atoi(row[0])
 		if err != nil || rank < 0 || rank >= ranks {
-			return nil, fmt.Errorf("trace: row %d bad rank %q", i+2, row[0])
+			return t, fmt.Errorf("trace: row %d bad rank %q", rowNo, row[0])
 		}
 		var op Op
 		switch row[1] {
@@ -63,34 +145,43 @@ func ReadCSV(r io.Reader, ranks int) (*Trace, error) {
 		case "recv":
 			op = OpRecv
 		default:
-			return nil, fmt.Errorf("trace: row %d bad op %q", i+2, row[1])
+			return t, fmt.Errorf("trace: row %d bad op %q", rowNo, row[1])
 		}
 		peer, err := strconv.Atoi(row[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d bad peer %q", i+2, row[2])
+			return t, fmt.Errorf("trace: row %d bad peer %q", rowNo, row[2])
 		}
 		bytes, err := strconv.Atoi(row[3])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d bad bytes %q", i+2, row[3])
+			return t, fmt.Errorf("trace: row %d bad bytes %q", rowNo, row[3])
 		}
 		tag, err := strconv.Atoi(row[4])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d bad tag %q", i+2, row[4])
+			return t, fmt.Errorf("trace: row %d bad tag %q", rowNo, row[4])
 		}
 		compute, err := strconv.ParseInt(row[5], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d bad compute %q", i+2, row[5])
+			return t, fmt.Errorf("trace: row %d bad compute %q", rowNo, row[5])
 		}
 		t.Add(rank, Event{Op: op, Peer: peer, Bytes: bytes, Tag: tag, Compute: sim.Duration(compute)})
 	}
-	return t, nil
 }
 
+// deliveryFields is the current delivery-log column count; legacyFields is
+// the pre-fault format still accepted on read.
+const (
+	deliveryFields = 12
+	legacyFields   = 9
+)
+
 // WriteDeliveries serializes a network log as CSV with header
-// id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops.
+// id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops,retries,faults,status.
+// The last three columns flag faulted traffic: retransmission count, the
+// mesh.FaultFlags bitmask, and 0 (delivered) or 1 (failed).
 func WriteDeliveries(w io.Writer, log []mesh.Delivery) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "src", "dst", "bytes", "inject_ns", "end_ns", "latency_ns", "blocked_ns", "hops"}); err != nil {
+	if err := cw.Write([]string{"id", "src", "dst", "bytes", "inject_ns", "end_ns",
+		"latency_ns", "blocked_ns", "hops", "retries", "faults", "status"}); err != nil {
 		return err
 	}
 	for _, d := range log {
@@ -104,6 +195,9 @@ func WriteDeliveries(w io.Writer, log []mesh.Delivery) error {
 			strconv.FormatInt(int64(d.Latency), 10),
 			strconv.FormatInt(int64(d.Blocked), 10),
 			strconv.Itoa(d.Hops),
+			strconv.Itoa(d.Retries),
+			strconv.Itoa(int(d.Faults)),
+			strconv.Itoa(int(d.Status)),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -113,26 +207,36 @@ func WriteDeliveries(w io.Writer, log []mesh.Delivery) error {
 	return cw.Error()
 }
 
-// ReadDeliveries parses a network log written by WriteDeliveries.
+// ReadDeliveries parses a network log written by WriteDeliveries,
+// streaming record by record. Legacy 9-column logs (without the fault
+// columns) are accepted, reading as clean traffic. On a truncated final
+// record it returns the cleanly parsed prefix together with a
+// *TruncatedError carrying the line number and bytes consumed.
 func ReadDeliveries(r io.Reader) ([]mesh.Delivery, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty delivery log")
+	rr := newRecordReader(r)
+	if _, err := rr.next(); err != nil { // header
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty delivery log")
+		}
+		return nil, err
 	}
 	var out []mesh.Delivery
-	for i, row := range rows[1:] {
-		if len(row) != 9 {
-			return nil, fmt.Errorf("trace: delivery row %d has %d fields", i+2, len(row))
+	for {
+		row, err := rr.next()
+		if err == io.EOF {
+			return out, nil
 		}
-		ints := make([]int64, 9)
+		if err != nil {
+			return out, err
+		}
+		if len(row) != deliveryFields && len(row) != legacyFields {
+			return out, rr.truncatedIfLast(len(row), "9 or 12")
+		}
+		ints := make([]int64, deliveryFields)
 		for j, f := range row {
 			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: delivery row %d field %d: %w", i+2, j, err)
+				return out, fmt.Errorf("trace: delivery row %d field %d: %w", rr.record, j, err)
 			}
 			ints[j] = v
 		}
@@ -145,7 +249,9 @@ func ReadDeliveries(r io.Reader) ([]mesh.Delivery, error) {
 			Latency: sim.Duration(ints[6]),
 			Blocked: sim.Duration(ints[7]),
 			Hops:    int(ints[8]),
+			Retries: int(ints[9]),
+			Faults:  mesh.FaultFlags(ints[10]),
+			Status:  mesh.DeliveryStatus(ints[11]),
 		})
 	}
-	return out, nil
 }

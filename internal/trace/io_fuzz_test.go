@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trace reader never panics on arbitrary input, and
+// that any input it accepts round-trips: write the parsed trace back out
+// and re-reading must reproduce it exactly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("rank,op,peer,bytes,tag,compute_ns\n0,send,1,8,0,100\n1,recv,0,8,0,50\n")
+	f.Add("rank,op,peer,bytes,tag,compute_ns\n")
+	f.Add("rank,op,peer,bytes,tag,compute_ns\n0,send,1,8")
+	f.Add("rank,op,peer,bytes,tag,compute_ns\n0,send,1,8,0,100,extra,extra\n")
+	f.Add("\"unterminated")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		const ranks = 4
+		tr, err := ReadCSV(strings.NewReader(data), ranks)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back of accepted trace failed: %v", err)
+		}
+		again, err := ReadCSV(&buf, ranks)
+		if err != nil {
+			t.Fatalf("re-read of written trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Events, again.Events) {
+			t.Fatalf("round trip diverged:\n%v\nvs\n%v", tr.Events, again.Events)
+		}
+	})
+}
+
+// FuzzReadDeliveries does the same for the delivery-log reader: no panics,
+// and accepted logs (current 12-column or legacy 9-column) round-trip
+// through WriteDeliveries unchanged.
+func FuzzReadDeliveries(f *testing.F) {
+	f.Add("id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops,retries,faults,status\n" +
+		"1,0,3,64,0,900,900,0,3,0,0,0\n")
+	f.Add("id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops\n1,0,3,64,0,900,900,0,3\n")
+	f.Add("id,src,dst,bytes,inject_ns,end_ns,latency_ns,blocked_ns,hops,retries,faults,status\n1,0,3\n")
+	f.Add("\"broken")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		log, err := ReadDeliveries(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDeliveries(&buf, log); err != nil {
+			t.Fatalf("write-back of accepted log failed: %v", err)
+		}
+		again, err := ReadDeliveries(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written log failed: %v", err)
+		}
+		if len(log) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(log, again) {
+			t.Fatalf("round trip diverged:\n%v\nvs\n%v", log, again)
+		}
+	})
+}

@@ -48,29 +48,30 @@ func Replay(s *sim.Simulator, net *mesh.Network, t *Trace, cost CostModel) error
 		cost = ZeroCost{}
 	}
 
-	type channel struct{ src, tag int }
 	// Per-rank inbox: delivered byte counts per channel, and a waiting
 	// receiver (at most one per rank since ranks are sequential).
 	type inbox struct {
-		arrived map[channel][]int // byte counts, FIFO
-		waiting map[channel]sim.Waker
+		arrived map[replayChannel][]int // byte counts, FIFO
+		waiting map[replayChannel]sim.Waker
 	}
 	inboxes := make([]inbox, t.Ranks)
 	for i := range inboxes {
-		inboxes[i] = inbox{arrived: map[channel][]int{}, waiting: map[channel]sim.Waker{}}
+		inboxes[i] = inbox{arrived: map[replayChannel][]int{}, waiting: map[replayChannel]sim.Waker{}}
 	}
+	procs := make([]*sim.Process, t.Ranks)
 
 	for rank := 0; rank < t.Ranks; rank++ {
 		rank := rank
 		seq := t.Events[rank]
 		s.Spawn(fmt.Sprintf("replay-rank%d", rank), func(p *sim.Process) {
+			procs[rank] = p
 			for _, e := range seq {
 				p.Hold(e.Compute)
 				switch e.Op {
 				case OpSend:
 					p.Hold(cost.SendOverhead(e.Bytes))
 					dst := e.Peer
-					ch := channel{src: rank, tag: e.Tag}
+					ch := replayChannel{src: rank, tag: e.Tag}
 					m := mesh.Message{
 						ID:     net.NextID(),
 						Src:    rank,
@@ -79,6 +80,12 @@ func Replay(s *sim.Simulator, net *mesh.Network, t *Trace, cost CostModel) error
 						Inject: p.Now(),
 					}
 					net.Inject(m, func(d mesh.Delivery) {
+						if d.Status != mesh.StatusDelivered {
+							// The network gave up on the message (fault
+							// injection); the receiver stays blocked and
+							// the watchdog reports the stall.
+							return
+						}
 						ib := &inboxes[dst]
 						ib.arrived[ch] = append(ib.arrived[ch], d.Bytes)
 						if w, ok := ib.waiting[ch]; ok {
@@ -87,11 +94,11 @@ func Replay(s *sim.Simulator, net *mesh.Network, t *Trace, cost CostModel) error
 						}
 					})
 				case OpRecv:
-					ch := channel{src: e.Peer, tag: e.Tag}
+					ch := replayChannel{src: e.Peer, tag: e.Tag}
 					ib := &inboxes[rank]
 					for len(ib.arrived[ch]) == 0 {
 						ib.waiting[ch] = sim.WakerFor(p)
-						p.Suspend()
+						p.SuspendOn(replayWait{procs: procs, src: e.Peer, tag: e.Tag})
 					}
 					bytes := ib.arrived[ch][0]
 					ib.arrived[ch] = ib.arrived[ch][1:]
@@ -99,6 +106,31 @@ func Replay(s *sim.Simulator, net *mesh.Network, t *Trace, cost CostModel) error
 				}
 			}
 		})
+	}
+	return nil
+}
+
+// replayChannel is the FIFO matching key of the replay engine.
+type replayChannel struct{ src, tag int }
+
+// replayWait is the sim.Resource a replayed rank blocks on while waiting
+// for a message; its holder is the sender's replay process, which gives
+// watchdog reports their wait-for edges.
+type replayWait struct {
+	procs []*sim.Process
+	src   int
+	tag   int
+}
+
+// ResourceName implements sim.Resource.
+func (w replayWait) ResourceName() string {
+	return fmt.Sprintf("message from rank %d (tag %d)", w.src, w.tag)
+}
+
+// Holders implements sim.Resource.
+func (w replayWait) Holders() []*sim.Process {
+	if p := w.procs[w.src]; p != nil {
+		return []*sim.Process{p}
 	}
 	return nil
 }

@@ -76,6 +76,15 @@ func (t *Trace) Messages() int {
 	return n
 }
 
+// TotalEvents returns the number of events across all ranks.
+func (t *Trace) TotalEvents() int {
+	n := 0
+	for _, seq := range t.Events {
+		n += len(seq)
+	}
+	return n
+}
+
 // Validate checks the structural sanity of the trace: peers in range and
 // sends matched by receives (same count per (src, dst, tag) channel).
 func (t *Trace) Validate() error {

@@ -266,20 +266,29 @@ type Metrics struct {
 	MeanHops        float64
 	MeanUtilization float64
 	MessageRate     float64 // messages per µs of simulated time
+	Failed          int     // messages the network gave up on
 }
 
-// MeasureLog computes metrics from a delivery log.
+// MeasureLog computes metrics from a delivery log. Messages the network
+// gave up on (fault injection) are counted in Failed and excluded from the
+// means: a failed message's "latency" is its give-up time, not a transit
+// time, and would pollute the characterization.
 func MeasureLog(log []mesh.Delivery, elapsed sim.Time, meanUtil float64) Metrics {
-	m := Metrics{Messages: len(log), MeanUtilization: meanUtil}
-	if len(log) == 0 {
-		return m
-	}
+	m := Metrics{MeanUtilization: meanUtil}
 	for _, d := range log {
+		if d.Status != mesh.StatusDelivered {
+			m.Failed++
+			continue
+		}
+		m.Messages++
 		m.MeanLatencyNS += float64(d.Latency)
 		m.MeanBlockedNS += float64(d.Blocked)
 		m.MeanHops += float64(d.Hops)
 	}
-	n := float64(len(log))
+	if m.Messages == 0 {
+		return m
+	}
+	n := float64(m.Messages)
 	m.MeanLatencyNS /= n
 	m.MeanBlockedNS /= n
 	m.MeanHops /= n
