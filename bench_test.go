@@ -12,11 +12,13 @@ package commchar_test
 import (
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"commchar/internal/apps"
 	"commchar/internal/experiments"
+	"commchar/internal/pipeline"
 )
 
 const benchProcs = 16
@@ -187,4 +189,74 @@ func BenchmarkAblationRouting(b *testing.B) {
 	artifact(b, "Ablation: routing algorithm", func(w io.Writer) error {
 		return r.AblationRouting(w, benchProcs)
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline benchmarks: the engine's worker pool and caches over the whole
+// 7-application suite (small scale, 8 processors). Cold benchmarks build a
+// fresh engine per iteration, so every run simulates; on a machine with >= 4
+// cores the parallel cold sweep should finish at least ~2x faster than the
+// sequential one (runs are independent and CPU-bound).
+
+// pipelineSuite characterizes every suite application through the engine.
+func pipelineSuite(b *testing.B, eng *pipeline.Engine) {
+	b.Helper()
+	names := []string{"1D-FFT", "IS", "Cholesky", "Nbody", "Maxflow", "3D-FFT", "MG"}
+	specs := make([]pipeline.RunSpec, len(names))
+	for i, n := range names {
+		specs[i] = pipeline.RunSpec{App: n, Procs: 8, Scale: apps.ScaleSmall}
+	}
+	if _, err := eng.RunAll(specs...); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPipelineColdSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := pipeline.New(pipeline.Options{Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipelineSuite(b, eng)
+	}
+}
+
+func BenchmarkPipelineColdParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := pipeline.New(pipeline.Options{Parallel: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipelineSuite(b, eng)
+	}
+}
+
+func BenchmarkPipelineWarmMemory(b *testing.B) {
+	eng := pipeline.NewDefault()
+	pipelineSuite(b, eng) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipelineSuite(b, eng)
+	}
+}
+
+func BenchmarkPipelineWarmDisk(b *testing.B) {
+	dir := b.TempDir()
+	prime, err := pipeline.New(pipeline.Options{CacheDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipelineSuite(b, prime) // prime the on-disk cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration: every artifact loads from disk.
+		eng, err := pipeline.New(pipeline.Options{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipelineSuite(b, eng)
+		if eng.Metrics().Runs.Load() != 0 {
+			b.Fatalf("warm-disk iteration executed %d simulations", eng.Metrics().Runs.Load())
+		}
+	}
 }

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv]
+// Runs execute through the shared run pipeline: with -cache-dir, a
+// repeated characterization is served from the content-addressed on-disk
+// cache instead of re-simulating.
+//
+// Usage:
+//
+//	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv] [-cache-dir .cache]
 //	characterize -app 3D-FFT -trace-out t.csv   (static strategy: export the app trace)
 //	characterize -list
 package main
@@ -19,6 +25,7 @@ import (
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/trace"
 )
@@ -34,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	logOut := fs.String("log", "", "write the raw network log (CSV) to this file")
 	traceOut := fs.String("trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
+	pf := pipeline.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,14 +61,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("-app required (try -list)")
 	}
 
-	w, err := apps.ByName(sc, *app)
-	if err != nil {
+	if _, err := apps.ByName(sc, *app); err != nil {
 		return cli.Usagef("%v", err)
 	}
-	c, err := w.Characterize(*procs)
+	eng, err := pf.Engine()
 	if err != nil {
 		return err
 	}
+	defer eng.Metrics().Render(stderr)
+	art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+	if err != nil {
+		return err
+	}
+	c := art.C
 	report.Render(stdout, c)
 
 	if *logOut != "" {

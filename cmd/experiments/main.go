@@ -3,9 +3,14 @@
 // that fails — even by panicking — is reported and skipped; the sweep
 // continues and emits every other result before exiting non-zero.
 //
+// Runs execute through the shared run pipeline: -parallel bounds the
+// worker pool, -cache-dir enables the content-addressed on-disk cache, and
+// a pipeline summary (runs executed, cache hits, dedup hits) is printed to
+// stderr after the sweep.
+//
 // Usage:
 //
-//	experiments [-procs 16] [-scale full|small] [-only "Table 2"]
+//	experiments [-procs 16] [-scale full|small] [-only "Table 2"] [-parallel 8] [-cache-dir .cache]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"commchar/internal/apps"
 	"commchar/internal/cli"
 	"commchar/internal/experiments"
+	"commchar/internal/pipeline"
 )
 
 func main() { cli.Main("experiments", run) }
@@ -27,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	procs := fs.Int("procs", 16, "number of processors")
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	only := fs.String("only", "", "run a single experiment (substring of its key, e.g. 'Table 2')")
+	pf := pipeline.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,7 +47,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("unknown scale %q", *scale)
 	}
 
-	r := experiments.NewRunner(sc)
+	eng, err := pf.Engine()
+	if err != nil {
+		return err
+	}
+	// The summary goes to stderr so stdout stays byte-identical across
+	// -parallel settings and cache states (cold vs warm).
+	defer eng.Metrics().Render(stderr)
+
+	r := experiments.NewRunnerWith(sc, eng)
 	steps := r.Steps(*procs)
 	if *only != "" {
 		var picked []experiments.Step

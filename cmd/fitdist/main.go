@@ -4,9 +4,15 @@
 // candidates with goodness-of-fit measures and a measured-vs-fitted
 // overlay — PROC NLIN at the shell.
 //
+// With -app, the samples are an application's pooled inter-arrival gaps
+// (ns), produced by characterizing it through the shared run pipeline —
+// with -cache-dir, a repeated fit is served from the content-addressed
+// on-disk cache instead of re-simulating.
+//
 // Usage:
 //
 //	fitdist -in samples.txt [-overlay]
+//	fitdist -app IS [-procs 16] [-scale full|small] [-overlay] [-cache-dir .cache]
 //	some-producer | fitdist
 package main
 
@@ -19,7 +25,9 @@ import (
 	"strconv"
 	"strings"
 
+	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/stats"
 )
@@ -52,23 +60,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fitdist", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input file (default: stdin)")
+	app := fs.String("app", "", "fit an application's pooled inter-arrival gaps instead of reading samples")
+	procs := fs.Int("procs", 16, "number of processors (with -app)")
+	scale := fs.String("scale", "full", "problem scale: full or small (with -app)")
 	overlay := fs.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
+	pf := pipeline.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *app != "" && *in != "" {
+		return cli.Usagef("-app and -in are mutually exclusive")
+	}
 
-	var r io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	var xs []float64
+	if *app != "" {
+		sc := apps.ScaleFull
+		if *scale == "small" {
+			sc = apps.ScaleSmall
+		}
+		if _, err := apps.ByName(sc, *app); err != nil {
+			return cli.Usagef("%v", err)
+		}
+		eng, err := pf.Engine()
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	xs, err := readSamples(r)
-	if err != nil {
-		return err
+		defer eng.Metrics().Render(stderr)
+		art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+		if err != nil {
+			return err
+		}
+		xs = art.C.AggregateGaps()
+		fmt.Fprintf(stdout, "%s: %d messages, %d pooled inter-arrival gaps (ns)\n",
+			art.C.Name, art.C.Messages, len(xs))
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		xs, err = readSamples(r)
+		if err != nil {
+			return err
+		}
 	}
 
 	sum := stats.Summarize(xs)

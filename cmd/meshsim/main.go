@@ -4,6 +4,10 @@
 // metrics. Optionally it injects faults from a deterministic schedule and
 // writes the delivery log for offline analysis.
 //
+// The replay executes through the shared run pipeline: with -cache-dir, a
+// repeated replay of the same trace and configuration is served from the
+// content-addressed on-disk cache instead of re-simulating.
+//
 // Usage:
 //
 //	meshsim -trace app.csv -ranks 16 [-width 4 -height 4] [-sp2] [-vcs 1]
@@ -21,9 +25,9 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/fault"
 	"commchar/internal/mesh"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/sim"
-	"commchar/internal/sp2"
 	"commchar/internal/trace"
 	"commchar/internal/workload"
 )
@@ -45,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxSimMS := fs.Float64("max-sim-ms", 0, "watchdog: abort past this simulated time in ms (0 = unlimited)")
 	maxWall := fs.Duration("max-wall", 0, "watchdog: abort after this much wall-clock time (0 = unlimited)")
 	out := fs.String("out", "", "write the delivery log (CSV) to this file")
+	pf := pipeline.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,11 +57,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceFile == "" {
 		return cli.Usagef("-trace required")
 	}
-	var sched *fault.Schedule
 	if *faults != "" {
-		var err error
-		sched, err = fault.Parse(*faults, *faultSeed)
-		if err != nil {
+		// Validate the schedule up front so a bad spec is a usage error,
+		// not a mid-replay failure; the pipeline parses its own copy.
+		if _, err := fault.Parse(*faults, *faultSeed); err != nil {
 			return cli.Usagef("-faults: %v", err)
 		}
 	}
@@ -85,42 +89,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 			h = (*ranks + 3) / 4
 		}
 	}
-	cfg := mesh.DefaultConfig(w, h)
-	cfg.VirtualChannels = *vcs
 
-	s := sim.New()
-	net := mesh.New(s, cfg)
-	if sched != nil {
-		net.SetFaults(sched)
-	}
-	var cost trace.CostModel
-	if *useSP2 {
-		cost = sp2.Default()
-	}
-	if err := trace.Replay(s, net, tr, cost); err != nil {
+	eng, err := pf.Engine()
+	if err != nil {
 		return err
 	}
-	s.SetWatchdog(sim.Watchdog{
-		MaxEvents:  *maxEvents,
-		MaxSimTime: sim.Time(*maxSimMS * 1e6),
-		MaxWall:    *maxWall,
+	defer eng.Metrics().Render(stderr)
+	art, err := eng.Run(pipeline.RunSpec{
+		Trace:           tr,
+		Procs:           *ranks,
+		Width:           w,
+		Height:          h,
+		VirtualChannels: *vcs,
+		UseSP2:          *useSP2,
+		Faults:          *faults,
+		FaultSeed:       *faultSeed,
+		Watchdog: sim.Watchdog{
+			MaxEvents:  *maxEvents,
+			MaxSimTime: sim.Time(*maxSimMS * 1e6),
+			MaxWall:    *maxWall,
+		},
 	})
-	if err := s.RunChecked(); err != nil {
+	if err != nil {
 		return err
 	}
 
-	m := workload.MeasureLog(net.Log(), s.Now(), net.MeanUtilization())
-	fmt.Fprintf(stdout, "mesh          : %dx%d, %d VCs, %v flit cycle\n", w, h, *vcs, cfg.CycleTime)
+	c := art.C
+	m := workload.MeasureLog(c.Log, c.Elapsed, c.MeanUtilization)
+	fmt.Fprintf(stdout, "mesh          : %dx%d, %d VCs, %v flit cycle\n",
+		w, h, *vcs, mesh.DefaultConfig(w, h).CycleTime)
 	fmt.Fprintf(stdout, "messages      : %d\n", m.Messages)
-	fmt.Fprintf(stdout, "simulated time: %.3f ms\n", float64(s.Now())/1e6)
+	fmt.Fprintf(stdout, "simulated time: %.3f ms\n", float64(c.Elapsed)/1e6)
 	fmt.Fprintf(stdout, "mean latency  : %.0f ns\n", m.MeanLatencyNS)
 	fmt.Fprintf(stdout, "mean blocked  : %.0f ns\n", m.MeanBlockedNS)
 	fmt.Fprintf(stdout, "mean hops     : %.2f\n", m.MeanHops)
 	fmt.Fprintf(stdout, "mean link util: %.4f\n", m.MeanUtilization)
-	if sched != nil {
-		report.FaultSummary(stdout, net.Log(), net.Failures())
-		c := sched.Counters()
-		fmt.Fprintf(stdout, "injector      : %d drops, %d corruptions\n", c.Drops, c.Corruptions)
+	if *faults != "" {
+		failures := make([]error, 0, len(art.Failures))
+		for _, msg := range art.Failures {
+			failures = append(failures, errors.New(msg))
+		}
+		report.FaultSummary(stdout, c.Log, failures)
+		fmt.Fprintf(stdout, "injector      : %d drops, %d corruptions\n",
+			art.FaultCounters.Drops, art.FaultCounters.Corruptions)
 	}
 
 	if *out != "" {
@@ -129,7 +140,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer of.Close()
-		if err := trace.WriteDeliveries(of, net.Log()); err != nil {
+		if err := trace.WriteDeliveries(of, c.Log); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "delivery log written to %s\n", *out)

@@ -4,9 +4,13 @@
 // the mesh with it, and compares network metrics between the real and
 // synthetic workloads.
 //
+// The -app path executes through the shared run pipeline: with
+// -cache-dir, a repeated characterization is served from the
+// content-addressed on-disk cache instead of re-simulating.
+//
 // Usage:
 //
-//	synthgen -app 1D-FFT [-procs 16] [-scale full|small] [-seed 1]
+//	synthgen -app 1D-FFT [-procs 16] [-scale full|small] [-seed 1] [-cache-dir .cache]
 //	synthgen -log deliveries.csv -procs 16 -elapsed-ms 3.2
 package main
 
@@ -19,6 +23,7 @@ import (
 	"commchar/internal/apps"
 	"commchar/internal/cli"
 	"commchar/internal/core"
+	"commchar/internal/pipeline"
 	"commchar/internal/sim"
 	"commchar/internal/trace"
 	"commchar/internal/workload"
@@ -35,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	seed := fs.Uint64("seed", 1, "random seed for the synthetic generator")
 	elapsedMS := fs.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
+	pf := pipeline.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,14 +52,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *scale == "small" {
 			sc = apps.ScaleSmall
 		}
-		w, err := apps.ByName(sc, *app)
-		if err != nil {
+		if _, err := apps.ByName(sc, *app); err != nil {
 			return cli.Usagef("%v", err)
 		}
-		c, err = w.Characterize(*procs)
+		eng, err := pf.Engine()
 		if err != nil {
 			return err
 		}
+		defer eng.Metrics().Render(stderr)
+		art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+		if err != nil {
+			return err
+		}
+		c = art.C
 	case *logFile != "":
 		if *elapsedMS <= 0 {
 			return cli.Usagef("-elapsed-ms required with -log")

@@ -106,116 +106,73 @@ func RunSharedMemoryOn(m *spasm.Machine, scale Scale, name string) error {
 	}
 }
 
-// SharedMemory returns the five shared-memory applications at the scale.
-func SharedMemory(scale Scale) []Workload {
-	sz := sizesFor(scale)
-	return []Workload{
-		{
-			Name:        "1D-FFT",
-			Strategy:    core.StrategyDynamic,
-			Description: "1-D complex FFT; local butterflies around a transpose phase [8]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeSharedMemory("1D-FFT", procs, func(m *spasm.Machine) error {
-					cfg := fft1d.DefaultConfig()
-					cfg.Points = sz.fftPoints
-					_, err := fft1d.Run(m, cfg)
-					return err
-				})
-			},
-		},
-		{
-			Name:        "IS",
-			Strategy:    core.StrategyDynamic,
-			Description: "integer sort by bucket ranking [8]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeSharedMemory("IS", procs, func(m *spasm.Machine) error {
-					cfg := is.DefaultConfig()
-					cfg.Keys, cfg.MaxKey = sz.isKeys, sz.isBuckets
-					_, err := is.Run(m, cfg)
-					return err
-				})
-			},
-		},
-		{
-			Name:        "Cholesky",
-			Strategy:    core.StrategyDynamic,
-			Description: "sparse Cholesky factorization with dynamic task queue [17]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeSharedMemory("Cholesky", procs, func(m *spasm.Machine) error {
-					ccfg := cholesky.DefaultConfig()
-					ccfg.N, ccfg.Density = sz.cholN, sz.cholDensity
-					prob := cholesky.Generate(ccfg)
-					_, err := cholesky.Run(m, prob, ccfg.OpTime)
-					return err
-				})
-			},
-		},
-		{
-			Name:        "Nbody",
-			Strategy:    core.StrategyDynamic,
-			Description: "gravitational N-body with static body allocation [17]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeSharedMemory("Nbody", procs, func(m *spasm.Machine) error {
-					cfg := nbody.DefaultConfig()
-					cfg.Bodies, cfg.Steps = sz.nbodyN, sz.nbodySteps
-					_, err := nbody.Run(m, cfg)
-					return err
-				})
-			},
-		},
-		{
-			Name:        "Maxflow",
-			Strategy:    core.StrategyDynamic,
-			Description: "Goldberg push-relabel maximum flow [26]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeSharedMemory("Maxflow", procs, func(m *spasm.Machine) error {
-					mcfg := maxflow.DefaultConfig()
-					mcfg.Layers, mcfg.Width = sz.mfLayers, sz.mfWidth
-					g := maxflow.Generate(mcfg)
-					_, err := maxflow.Run(m, g, mcfg.OpTime)
-					return err
-				})
-			},
-		},
-	}
-}
-
-// MessagePassing returns the two NAS message-passing applications at the
-// scale.
-func MessagePassing(scale Scale) []Workload {
+// RunMessagePassingOn executes a message-passing workload by name on a
+// caller-supplied world, so the pipeline can build the world itself and
+// reuse the recorded trace.
+func RunMessagePassingOn(w *mp.World, scale Scale, name string, procs int) error {
 	ftN, ftIters := 16, 2
 	mgN, mgCycles := 16, 2
 	if scale == ScaleFull {
 		ftN, ftIters = 32, 3
 		mgN, mgCycles = 32, 4
 	}
+	switch name {
+	case "3D-FFT":
+		cfg := fft3d.DefaultConfig()
+		cfg.NX, cfg.NY, cfg.NZ, cfg.Iterations = ftN, ftN, ftN, ftIters
+		_, err := fft3d.Run(w, cfg, procs)
+		return err
+	case "MG":
+		cfg := mg.DefaultConfig()
+		cfg.N, cfg.Cycles = mgN, mgCycles
+		_, err := mg.Run(w, cfg, procs)
+		return err
+	default:
+		return fmt.Errorf("apps: unknown message-passing workload %q", name)
+	}
+}
+
+// SharedMemory returns the five shared-memory applications at the scale.
+func SharedMemory(scale Scale) []Workload {
+	mk := func(name, desc string) Workload {
+		return Workload{
+			Name:        name,
+			Strategy:    core.StrategyDynamic,
+			Description: desc,
+			Characterize: func(procs int) (*core.Characterization, error) {
+				return core.CharacterizeSharedMemory(name, procs, func(m *spasm.Machine) error {
+					return RunSharedMemoryOn(m, scale, name)
+				})
+			},
+		}
+	}
 	return []Workload{
-		{
-			Name:        "3D-FFT",
+		mk("1D-FFT", "1-D complex FFT; local butterflies around a transpose phase [8]"),
+		mk("IS", "integer sort by bucket ranking [8]"),
+		mk("Cholesky", "sparse Cholesky factorization with dynamic task queue [17]"),
+		mk("Nbody", "gravitational N-body with static body allocation [17]"),
+		mk("Maxflow", "Goldberg push-relabel maximum flow [26]"),
+	}
+}
+
+// MessagePassing returns the two NAS message-passing applications at the
+// scale.
+func MessagePassing(scale Scale) []Workload {
+	mk := func(name, desc string) Workload {
+		return Workload{
+			Name:        name,
 			Strategy:    core.StrategyStatic,
-			Description: "NAS FT kernel: 3-D FFT with all-to-all transpose [15]",
+			Description: desc,
 			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeMessagePassing("3D-FFT", procs, sp2.Default(), func(w *mp.World) error {
-					cfg := fft3d.DefaultConfig()
-					cfg.NX, cfg.NY, cfg.NZ, cfg.Iterations = ftN, ftN, ftN, ftIters
-					_, err := fft3d.Run(w, cfg, procs)
-					return err
+				return core.CharacterizeMessagePassing(name, procs, sp2.Default(), func(w *mp.World) error {
+					return RunMessagePassingOn(w, scale, name, procs)
 				})
 			},
-		},
-		{
-			Name:        "MG",
-			Strategy:    core.StrategyStatic,
-			Description: "NAS MG: multigrid V-cycle Poisson solver [15]",
-			Characterize: func(procs int) (*core.Characterization, error) {
-				return core.CharacterizeMessagePassing("MG", procs, sp2.Default(), func(w *mp.World) error {
-					cfg := mg.DefaultConfig()
-					cfg.N, cfg.Cycles = mgN, mgCycles
-					_, err := mg.Run(w, cfg, procs)
-					return err
-				})
-			},
-		},
+		}
+	}
+	return []Workload{
+		mk("3D-FFT", "NAS FT kernel: 3-D FFT with all-to-all transpose [15]"),
+		mk("MG", "NAS MG: multigrid V-cycle Poisson solver [15]"),
 	}
 }
 

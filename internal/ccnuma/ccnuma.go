@@ -12,6 +12,7 @@ package ccnuma
 
 import (
 	"fmt"
+	"sort"
 
 	"commchar/internal/mesh"
 	"commchar/internal/sim"
@@ -509,12 +510,15 @@ func (s *System) miss(p *sim.Process, proc int, block uint64, write bool) {
 		e.owner = -1
 	}
 	// Invalidate every other sharer in parallel; home collects the acks.
+	// The sharer set is a map: sort so the INVs inject in processor order,
+	// keeping the run (and its network log) bit-for-bit reproducible.
 	var targets []int
 	for sh := range e.sharers {
 		if sh != proc {
 			targets = append(targets, sh)
 		}
 	}
+	sort.Ints(targets)
 	if len(targets) > 0 {
 		s.invalidateAll(p, home, block, targets)
 		for _, t := range targets {

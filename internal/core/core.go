@@ -21,9 +21,7 @@ import (
 	"sort"
 
 	"commchar/internal/mesh"
-	"commchar/internal/mp"
 	"commchar/internal/sim"
-	"commchar/internal/spasm"
 	"commchar/internal/stats"
 	"commchar/internal/trace"
 )
@@ -104,7 +102,7 @@ func Analyze(name string, strategy Strategy, log []mesh.Delivery, procs int, ela
 		return nil, fmt.Errorf("core: %d processors", procs)
 	}
 	sorted := append([]mesh.Delivery(nil), log...)
-	sort.Slice(sorted, func(i, j int) bool {
+	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].Inject != sorted[j].Inject {
 			return sorted[i].Inject < sorted[j].Inject
 		}
@@ -195,7 +193,8 @@ func (c *Characterization) BestAggregate() *stats.CandidateFit {
 }
 
 // DominantSpatial returns the most common spatial pattern across sources
-// and the number of sources exhibiting it.
+// and the number of sources exhibiting it. Ties break toward the smaller
+// pattern value, so repeated analyses of the same log agree byte for byte.
 func (c *Characterization) DominantSpatial() (stats.SpatialPattern, int) {
 	counts := map[stats.SpatialPattern]int{}
 	for _, s := range c.Spatial {
@@ -206,7 +205,7 @@ func (c *Characterization) DominantSpatial() (stats.SpatialPattern, int) {
 	var best stats.SpatialPattern
 	bestN := -1
 	for p, n := range counts {
-		if n > bestN {
+		if n > bestN || (n == bestN && p < best) {
 			best, bestN = p, n
 		}
 	}
@@ -216,51 +215,17 @@ func (c *Characterization) DominantSpatial() (stats.SpatialPattern, int) {
 	return best, bestN
 }
 
-// CharacterizeSharedMemory runs a shared-memory application under the
-// dynamic strategy: build the machine, execute the kernel, characterize
-// the network log.
-func CharacterizeSharedMemory(name string, procs int, run func(m *spasm.Machine) error) (*Characterization, error) {
-	m := spasm.NewDefault(procs)
-	if err := run(m); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
+// AggregateGaps recomputes the pooled per-source inter-arrival sample from
+// the log: the raw data behind the aggregate temporal fit, in source-major
+// order.
+func (c *Characterization) AggregateGaps() []float64 {
+	times := make([][]sim.Time, c.Procs)
+	for _, d := range c.Log {
+		times[d.Src] = append(times[d.Src], d.Inject)
 	}
-	return Analyze(name, StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
-}
-
-// CharacterizeMessagePassing runs a message-passing application under the
-// static strategy: execute natively on the SP2-like machine to obtain the
-// application-level trace, replay the trace through the mesh with the SP2
-// software-overhead model, and characterize the resulting log.
-func CharacterizeMessagePassing(name string, procs int, cost trace.CostModel, run func(w *mp.World) error) (*Characterization, error) {
-	w := mp.NewWorld(mp.DefaultConfig(procs))
-	if err := run(w); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
+	var out []float64
+	for _, ts := range times {
+		out = append(out, interarrivals(ts)...)
 	}
-	tr := w.Trace()
-	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
-	}
-	s := sim.New()
-	net := mesh.New(s, MeshFor(procs))
-	if err := trace.Replay(s, net, tr, cost); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
-	}
-	s.Run()
-	c, err := Analyze(name, StrategyStatic, net.Log(), procs, s.Now(), net.MeanUtilization())
-	if err != nil {
-		return nil, err
-	}
-	c.Trace = tr
-	return c, nil
-}
-
-// MeshFor returns the reproduction's standard mesh geometry for n
-// processors: the smallest default mesh at most four columns wide.
-func MeshFor(n int) mesh.Config {
-	w, h := n, 1
-	if n > 4 {
-		w = 4
-		h = (n + 3) / 4
-	}
-	return mesh.DefaultConfig(w, h)
+	return out
 }

@@ -93,7 +93,7 @@ func (c *Characterization) SplitPhases(gapFactor float64, minMessages int) ([]Ph
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("core: no phase had %d+ messages", minMessages)
 	}
-	sort.Slice(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
 	return phases, nil
 }
 

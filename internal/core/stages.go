@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"commchar/internal/mesh"
+	"commchar/internal/mp"
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+	"commchar/internal/trace"
+)
+
+// RawRun is the product of the acquisition stages: the network log and
+// run-level metrics of one simulated execution, before statistical
+// analysis. It is the value that flows between the pipeline's acquire/log
+// stages and the analyze stage.
+type RawRun struct {
+	Procs    int
+	Elapsed  sim.Time
+	MeanUtil float64
+	Events   int64 // simulation events fired during the run
+	Log      []mesh.Delivery
+	// Trace is the application-level trace, when the acquisition records
+	// one (static strategy); nil otherwise.
+	Trace *trace.Trace
+	// Failures are per-message delivery failures (fault-injected runs).
+	Failures []error
+}
+
+// Characterize runs the analyze stage on the raw run.
+func (r *RawRun) Characterize(name string, strategy Strategy) (*Characterization, error) {
+	c, err := Analyze(name, strategy, r.Log, r.Procs, r.Elapsed, r.MeanUtil)
+	if err != nil {
+		return nil, err
+	}
+	c.Trace = r.Trace
+	return c, nil
+}
+
+// AcquireSharedMemoryOn is the dynamic-strategy acquisition stage on a
+// caller-built machine: execute the kernel and collect the network log.
+func AcquireSharedMemoryOn(m *spasm.Machine, run func(m *spasm.Machine) error) (*RawRun, error) {
+	if err := run(m); err != nil {
+		return nil, err
+	}
+	return &RawRun{
+		Procs:    m.Config().Processors,
+		Elapsed:  m.Sim.Now(),
+		MeanUtil: m.Net.MeanUtilization(),
+		Events:   m.Sim.EventsFired(),
+		Log:      m.Net.Log(),
+		Failures: m.Net.Failures(),
+	}, nil
+}
+
+// AcquireMessagePassing is the static-strategy acquisition stage: execute
+// the message-passing program natively on the SP2-like machine and return
+// its application-level trace (replayed through the mesh by ReplayTrace).
+func AcquireMessagePassing(procs int, run func(w *mp.World) error) (*trace.Trace, error) {
+	w := mp.NewWorld(mp.DefaultConfig(procs))
+	if err := run(w); err != nil {
+		return nil, err
+	}
+	tr := w.Trace()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ReplayTrace is the log stage of the static strategy: replay an
+// application trace through a mesh, honouring send/receive dependencies,
+// under an optional fault injector and watchdog, and collect the network
+// log. The trace's rank count is used as the processor count of the run.
+func ReplayTrace(tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog) (*RawRun, error) {
+	s := sim.New()
+	net := mesh.New(s, cfg)
+	if inj != nil {
+		net.SetFaults(inj)
+	}
+	if err := trace.Replay(s, net, tr, cost); err != nil {
+		return nil, err
+	}
+	s.SetWatchdog(wd)
+	if err := s.RunChecked(); err != nil {
+		return nil, err
+	}
+	return &RawRun{
+		Procs:    tr.Ranks,
+		Elapsed:  s.Now(),
+		MeanUtil: net.MeanUtilization(),
+		Events:   s.EventsFired(),
+		Log:      net.Log(),
+		Trace:    tr,
+		Failures: net.Failures(),
+	}, nil
+}
+
+// CharacterizeSharedMemory runs a shared-memory application under the
+// dynamic strategy end to end: build the machine, execute the kernel
+// (acquire), characterize the network log (analyze).
+func CharacterizeSharedMemory(name string, procs int, run func(m *spasm.Machine) error) (*Characterization, error) {
+	raw, err := AcquireSharedMemoryOn(spasm.NewDefault(procs), run)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return raw.Characterize(name, StrategyDynamic)
+}
+
+// CharacterizeMessagePassing runs a message-passing application under the
+// static strategy end to end: execute natively on the SP2-like machine to
+// obtain the application-level trace (acquire), replay the trace through
+// the mesh with the given software-overhead model (log), and characterize
+// the resulting network log (analyze).
+func CharacterizeMessagePassing(name string, procs int, cost trace.CostModel, run func(w *mp.World) error) (*Characterization, error) {
+	tr, err := AcquireMessagePassing(procs, run)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	raw, err := ReplayTrace(tr, MeshFor(procs), cost, nil, sim.Watchdog{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return raw.Characterize(name, StrategyStatic)
+}
+
+// MeshFor returns the reproduction's standard mesh geometry for n
+// processors: the smallest default mesh at most four columns wide.
+func MeshFor(n int) mesh.Config {
+	w, h := n, 1
+	if n > 4 {
+		w = 4
+		h = (n + 3) / 4
+	}
+	return mesh.DefaultConfig(w, h)
+}

@@ -14,52 +14,73 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/core"
 	"commchar/internal/mesh"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/sim"
-	"commchar/internal/spasm"
 	"commchar/internal/workload"
-
-	"commchar/internal/apps/fft1d"
-	appis "commchar/internal/apps/is"
 )
 
-// Runner caches characterizations so tables and figures drawing on the same
-// application run it only once.
+// Runner drives the evaluation through the run pipeline: independent
+// characterization runs are scheduled across the engine's worker pool and
+// memoized (in memory and, if the engine has a cache directory, on disk),
+// so tables and figures drawing on the same application run it only once —
+// across invocations, with a warm disk cache, zero times.
 type Runner struct {
 	Scale apps.Scale
-	cache map[string]*core.Characterization
+	eng   *pipeline.Engine
 }
 
-// NewRunner returns a runner at the given scale.
+// NewRunner returns a runner at the given scale on a default engine
+// (GOMAXPROCS-wide worker pool, no disk cache).
 func NewRunner(scale apps.Scale) *Runner {
-	return &Runner{Scale: scale, cache: map[string]*core.Characterization{}}
+	return NewRunnerWith(scale, pipeline.NewDefault())
+}
+
+// NewRunnerWith returns a runner backed by the given engine. Runners at
+// different scales may safely share one engine: the pipeline's cache key
+// covers the full spec, scale included.
+func NewRunnerWith(scale apps.Scale, eng *pipeline.Engine) *Runner {
+	return &Runner{Scale: scale, eng: eng}
+}
+
+// Engine exposes the runner's engine (for metrics summaries).
+func (r *Runner) Engine() *pipeline.Engine { return r.eng }
+
+// spec builds the standard-machine spec for a suite application.
+func (r *Runner) spec(name string, procs int) pipeline.RunSpec {
+	return pipeline.RunSpec{App: name, Procs: procs, Scale: r.Scale}
+}
+
+// artifacts fans the specs out across the engine's worker pool and returns
+// them in order: the parallel core of every table and figure.
+func (r *Runner) artifacts(specs ...pipeline.RunSpec) ([]*pipeline.Artifact, error) {
+	arts, err := r.eng.RunAll(specs...)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return arts, nil
 }
 
 func (r *Runner) characterize(name string, procs int) (*core.Characterization, error) {
-	key := fmt.Sprintf("%s/%d", name, procs)
-	if c, ok := r.cache[key]; ok {
-		return c, nil
-	}
-	w, err := apps.ByName(r.Scale, name)
+	art, err := r.eng.Run(r.spec(name, procs))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}
-	c, err := w.Characterize(procs)
-	if err != nil {
-		return nil, err
-	}
-	r.cache[key] = c
-	return c, nil
+	return art.C, nil
 }
 
 func (r *Runner) characterizeAll(names []string, procs int) ([]*core.Characterization, error) {
-	var out []*core.Characterization
-	for _, n := range names {
-		c, err := r.characterize(n, procs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", n, err)
-		}
-		out = append(out, c)
+	specs := make([]pipeline.RunSpec, len(names))
+	for i, n := range names {
+		specs[i] = r.spec(n, procs)
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Characterization, len(arts))
+	for i, a := range arts {
+		out[i] = a.C
 	}
 	return out, nil
 }
@@ -139,28 +160,13 @@ func (r *Runner) FigureInterarrivalSM(w io.Writer, procs int) error {
 		if best == nil {
 			continue
 		}
-		samples := aggregateGaps(c)
+		samples := c.AggregateGaps()
 		report.CDFOverlay(w,
 			fmt.Sprintf("Figure: %s inter-arrival CDF, measured vs %s (R²=%.4f)", c.Name, best.Dist, best.R2),
 			samples, best.Dist, 16, 40)
 		fmt.Fprintln(w)
 	}
 	return nil
-}
-
-// aggregateGaps recomputes the pooled inter-arrival sample from the log.
-func aggregateGaps(c *core.Characterization) []float64 {
-	times := make([][]sim.Time, c.Procs)
-	for _, d := range c.Log {
-		times[d.Src] = append(times[d.Src], d.Inject)
-	}
-	var out []float64
-	for _, ts := range times {
-		for i := 1; i < len(ts); i++ {
-			out = append(out, float64(ts[i]-ts[i-1]))
-		}
-	}
-	return out
 }
 
 // FigureSpatialSM renders the per-source spatial figures (p0 and p1, 8
@@ -245,24 +251,13 @@ func (r *Runner) FigureSyntheticValidation(w io.Writer, procs int) error {
 
 // AblationContention runs IS on the standard mesh and on a
 // contention-free (very fast) mesh and compares blocking and the fitted
-// temporal model: how much the network itself shapes the "workload".
+// temporal model: how much the network itself shapes the "workload". Both
+// variants run concurrently through the pipeline.
 func (r *Runner) AblationContention(w io.Writer, procs int) error {
-	run := func(cycle sim.Duration) (*core.Characterization, error) {
-		cfg := spasm.DefaultConfig(procs)
-		cfg.Mesh.CycleTime = cycle
-		m := spasm.New(cfg)
-		icfg := appis.DefaultConfig()
-		icfg.Keys, icfg.MaxKey = smallOrFull(r.Scale, 8192, 65536), smallOrFull(r.Scale, 256, 1024)
-		if _, err := appis.Run(m, icfg); err != nil {
-			return nil, err
-		}
-		return core.Analyze("IS", core.StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
-	}
-	slow, err := run(25 * sim.Nanosecond)
-	if err != nil {
-		return err
-	}
-	fast, err := run(1 * sim.Nanosecond)
+	slowSpec, fastSpec := r.spec("IS", procs), r.spec("IS", procs)
+	slowSpec.CycleTime = 25 * sim.Nanosecond
+	fastSpec.CycleTime = 1 * sim.Nanosecond
+	arts, err := r.artifacts(slowSpec, fastSpec)
 	if err != nil {
 		return err
 	}
@@ -270,27 +265,18 @@ func (r *Runner) AblationContention(w io.Writer, procs int) error {
 		Title:   fmt.Sprintf("Ablation: mesh contention effect on IS (%d processors)", procs),
 		Columns: []string{"Mesh", "Messages", "MeanLatency(ns)", "MeanBlocked(ns)", "MeanGap(us)", "BestFit", "R2"},
 	}
-	for _, row := range []struct {
-		label string
-		c     *core.Characterization
-	}{{"25ns/flit (standard)", slow}, {"1ns/flit (near-zero contention)", fast}} {
-		name, _, r2 := report.FitRow(row.c.BestAggregate())
-		t.AddRow(row.label,
-			fmt.Sprintf("%d", row.c.Messages),
-			fmt.Sprintf("%.0f", row.c.MeanLatencyNS),
-			fmt.Sprintf("%.0f", row.c.MeanBlockedNS),
-			fmt.Sprintf("%.2f", row.c.Aggregate.Summary.Mean/1000),
+	for i, label := range []string{"25ns/flit (standard)", "1ns/flit (near-zero contention)"} {
+		c := arts[i].C
+		name, _, r2 := report.FitRow(c.BestAggregate())
+		t.AddRow(label,
+			fmt.Sprintf("%d", c.Messages),
+			fmt.Sprintf("%.0f", c.MeanLatencyNS),
+			fmt.Sprintf("%.0f", c.MeanBlockedNS),
+			fmt.Sprintf("%.2f", c.Aggregate.Summary.Mean/1000),
 			name, r2)
 	}
 	t.Render(w)
 	return nil
-}
-
-func smallOrFull(s apps.Scale, small, full int) int {
-	if s == apps.ScaleFull {
-		return full
-	}
-	return small
 }
 
 // AblationVirtualChannels drives hot-spot synthetic traffic through the
@@ -348,28 +334,25 @@ func (r *Runner) AblationVirtualChannels(w io.Writer) error {
 
 // AblationCacheGeometry reruns 1D-FFT with different cache sizes and shows
 // how cache capacity changes the message generation rate — the coupling
-// between memory-system and network workload.
+// between memory-system and network workload. All variants run
+// concurrently through the pipeline.
 func (r *Runner) AblationCacheGeometry(w io.Writer, procs int) error {
-	run := func(cacheBytes int) (*core.Characterization, error) {
-		cfg := spasm.DefaultConfig(procs)
-		cfg.Memory.CacheBytes = cacheBytes
-		m := spasm.New(cfg)
-		fcfg := fft1d.DefaultConfig()
-		fcfg.Points = smallOrFull(r.Scale, 4096, 16384)
-		if _, err := fft1d.Run(m, fcfg); err != nil {
-			return nil, err
-		}
-		return core.Analyze("1D-FFT", core.StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
+	sizesKB := []int{8, 64, 512}
+	specs := make([]pipeline.RunSpec, len(sizesKB))
+	for i, kb := range sizesKB {
+		specs[i] = r.spec("1D-FFT", procs)
+		specs[i].CacheBytes = kb << 10
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return err
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: cache size effect on 1D-FFT message generation (%d processors)", procs),
 		Columns: []string{"Cache", "Messages", "MsgRate(msg/us)", "MeanGap(us)", "BestFit"},
 	}
-	for _, kb := range []int{8, 64, 512} {
-		c, err := run(kb << 10)
-		if err != nil {
-			return err
-		}
+	for i, kb := range sizesKB {
+		c := arts[i].C
 		name, _, _ := report.FitRow(c.BestAggregate())
 		rate := float64(c.Messages) / (float64(c.Elapsed) / 1000)
 		t.AddRow(fmt.Sprintf("%dKB", kb),

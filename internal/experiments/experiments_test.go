@@ -5,18 +5,44 @@ import (
 	"testing"
 
 	"commchar/internal/apps"
+	"commchar/internal/pipeline"
 )
 
-func TestAllExperimentsSmall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full experiment sweep")
+// sweep runs the full small-scale evaluation through an engine with the
+// given worker-pool width and returns the rendered output.
+func sweep(t *testing.T, parallel int) string {
+	t.Helper()
+	eng, err := pipeline.New(pipeline.Options{Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
 	}
-	r := NewRunner(apps.ScaleSmall)
+	r := NewRunnerWith(apps.ScaleSmall, eng)
 	var sb strings.Builder
 	if err := r.All(&sb, 8); err != nil {
 		t.Fatal(err)
 	}
-	out := sb.String()
+	return sb.String()
+}
+
+// TestParallelSweepIsDeterministic is the pipeline's central guarantee:
+// the full evaluation, executed across an 8-wide worker pool, is
+// byte-for-byte identical to the sequential run. It also keeps the
+// content assertions of the original sweep test.
+func TestParallelSweepIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep, twice")
+	}
+	seq := sweep(t, 1)
+	par := sweep(t, 8)
+	if seq != par {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo := max(0, i-120)
+		t.Fatalf("parallel sweep diverges from sequential at byte %d:\nsequential: %q\nparallel:   %q",
+			i, seq[lo:min(len(seq), i+120)], par[lo:min(len(par), i+120)])
+	}
 	for _, want := range []string{
 		"Table 1: application suite",
 		"Table 2: message inter-arrival time fits, shared memory",
@@ -40,9 +66,30 @@ func TestAllExperimentsSmall(t *testing.T) {
 		"Ablation: routing algorithm",
 		"1D-FFT", "IS", "Cholesky", "Nbody", "Maxflow", "3D-FFT", "MG",
 	} {
-		if !strings.Contains(out, want) {
+		if !strings.Contains(seq, want) {
 			t.Fatalf("experiment output missing %q", want)
 		}
+	}
+}
+
+// TestParallelPoolSmoke drives real concurrent runs through a shared
+// engine — the path the race detector needs to see (the heavyweight
+// determinism test above is skipped under -short, this one is not).
+func TestParallelPoolSmoke(t *testing.T) {
+	eng, err := pipeline.New(pipeline.Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerWith(apps.ScaleSmall, eng)
+	var sb strings.Builder
+	if err := r.Table1(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1: application suite") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	if eng.Metrics().Runs.Load() != 7 {
+		t.Fatalf("runs executed = %d, want 7", eng.Metrics().Runs.Load())
 	}
 }
 
@@ -65,6 +112,46 @@ func TestRunnerCaches(t *testing.T) {
 	}
 	if c == a {
 		t.Fatal("different processor counts share a cache entry")
+	}
+}
+
+// TestRunnersAtDifferentScalesDoNotCollide is the regression test for the
+// old Runner's cache key, which omitted the scale: two runners sharing one
+// engine at different scales must get different runs.
+func TestRunnersAtDifferentScalesDoNotCollide(t *testing.T) {
+	eng := pipeline.NewDefault()
+	small := NewRunnerWith(apps.ScaleSmall, eng)
+	full := NewRunnerWith(apps.ScaleFull, eng)
+	a, err := small.characterize("Nbody", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.characterize("Nbody", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("small- and full-scale runs share a cache entry")
+	}
+	if a.Messages == b.Messages {
+		t.Fatalf("scales indistinguishable: both ran %d messages", a.Messages)
+	}
+	if eng.Metrics().Runs.Load() != 2 {
+		t.Fatalf("runs executed = %d, want 2", eng.Metrics().Runs.Load())
+	}
+}
+
+// TestRunnersWithDistinctConfigsDoNotCollide pins the same property for
+// machine-configuration overrides (the old key also omitted the barrier).
+func TestRunnersWithDistinctConfigsDoNotCollide(t *testing.T) {
+	eng := pipeline.NewDefault()
+	r := NewRunnerWith(apps.ScaleSmall, eng)
+	var sb strings.Builder
+	if err := r.AblationBarrier(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Metrics().Runs.Load() != 2 {
+		t.Fatalf("barrier variants collided: %d runs executed, want 2", eng.Metrics().Runs.Load())
 	}
 }
 

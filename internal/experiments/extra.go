@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"commchar/internal/apps/nbody"
 	"commchar/internal/core"
 	"commchar/internal/mesh"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/sim"
 	"commchar/internal/spasm"
@@ -115,32 +115,27 @@ func (r *Runner) FigureLatencyLoad(w io.Writer, procs int) error {
 // AblationBarrier compares the linear and tree barrier implementations on
 // the barrier-heavy Nbody code: the synchronization algorithm reshapes the
 // spatial attribute (p0's receiver share) without changing the computation.
+// Both variants run concurrently through the pipeline.
 func (r *Runner) AblationBarrier(w io.Writer, procs int) error {
-	run := func(kind spasm.BarrierKind) (*core.Characterization, error) {
-		cfg := spasm.DefaultConfig(procs)
-		cfg.Barrier = kind
-		m := spasm.New(cfg)
-		ncfg := nbody.DefaultConfig()
-		ncfg.Bodies, ncfg.Steps = smallOrFull(r.Scale, 128, 256), smallOrFull(r.Scale, 1, 2)
-		if _, err := nbody.Run(m, ncfg); err != nil {
-			return nil, err
-		}
-		return core.Analyze("Nbody", core.StrategyDynamic, m.Net.Log(), procs, m.Sim.Now(), m.Net.MeanUtilization())
+	kinds := []spasm.BarrierKind{spasm.BarrierLinear, spasm.BarrierTree}
+	labels := []string{"linear (root p0)", "binary tree"}
+	specs := make([]pipeline.RunSpec, len(kinds))
+	for i, kind := range kinds {
+		specs[i] = r.spec("Nbody", procs)
+		specs[i].Barrier = kind
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return err
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: barrier algorithm effect on Nbody (%d processors)", procs),
 		Columns: []string{"Barrier", "Messages", "Makespan(ms)", "p0RecvShare", "MeanLatency(ns)"},
 	}
-	for _, row := range []struct {
-		label string
-		kind  spasm.BarrierKind
-	}{{"linear (root p0)", spasm.BarrierLinear}, {"binary tree", spasm.BarrierTree}} {
-		c, err := run(row.kind)
-		if err != nil {
-			return err
-		}
+	for i, label := range labels {
+		c := arts[i].C
 		rp := c.AnalyzeReceivers()
-		t.AddRow(row.label,
+		t.AddRow(label,
 			fmt.Sprintf("%d", c.Messages),
 			fmt.Sprintf("%.3f", float64(c.Elapsed)/1e6),
 			fmt.Sprintf("%.3f", float64(rp.Counts[0])/float64(c.Messages)),

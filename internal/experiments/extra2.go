@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"io"
 
-	"commchar/internal/apps"
 	"commchar/internal/ccnuma"
-	"commchar/internal/core"
 	"commchar/internal/mesh"
+	"commchar/internal/pipeline"
 	"commchar/internal/report"
-	"commchar/internal/spasm"
 	"commchar/internal/stats"
 )
 
@@ -86,19 +84,24 @@ func (r *Runner) Table6(w io.Writer, procs int) error {
 
 // Table7 prints the SPASM-style execution profiles of the shared-memory
 // suite: where each application's time goes (compute, memory stalls,
-// synchronization stalls), averaged over processors.
+// synchronization stalls), averaged over processors. The whole suite runs
+// concurrently through the pipeline; profiles ride along on the artifacts.
 func (r *Runner) Table7(w io.Writer, procs int) error {
+	specs := make([]pipeline.RunSpec, len(sharedNames))
+	for i, name := range sharedNames {
+		specs[i] = r.spec(name, procs)
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return err
+	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Table 7: execution-time profiles, shared memory (%d processors)", procs),
 		Columns: []string{"Application", "Makespan(ms)", "Compute%", "Memory%", "Sync%"},
 	}
-	for _, name := range sharedNames {
-		m := spasm.NewDefault(procs)
-		if err := apps.RunSharedMemoryOn(m, r.Scale, name); err != nil {
-			return fmt.Errorf("experiments: %s: %w", name, err)
-		}
+	for i, name := range sharedNames {
 		var comp, mem, syn, end float64
-		for _, pr := range m.Profiles() {
+		for _, pr := range arts[i].Profiles {
 			comp += float64(pr.Compute)
 			mem += float64(pr.Memory)
 			syn += float64(pr.Sync)
@@ -108,7 +111,7 @@ func (r *Runner) Table7(w io.Writer, procs int) error {
 			continue
 		}
 		t.AddRow(name,
-			fmt.Sprintf("%.3f", float64(m.Sim.Now())/1e6),
+			fmt.Sprintf("%.3f", float64(arts[i].C.Elapsed)/1e6),
 			fmt.Sprintf("%.1f", 100*comp/end),
 			fmt.Sprintf("%.1f", 100*mem/end),
 			fmt.Sprintf("%.1f", 100*syn/end))
@@ -119,27 +122,28 @@ func (r *Runner) Table7(w io.Writer, procs int) error {
 
 // AblationProtocol compares MSI and MESI on 1D-FFT: the Exclusive state
 // removes upgrade traffic for read-then-write private data, shrinking the
-// offered workload itself.
+// offered workload itself. Both variants run concurrently through the
+// pipeline; coherence statistics ride along on the artifacts.
 func (r *Runner) AblationProtocol(w io.Writer, procs int) error {
-	run := func(protocol ccnuma.Protocol) (*core.Characterization, ccnuma.Stats, error) {
-		cfg := spasm.DefaultConfig(procs)
-		cfg.Memory.Protocol = protocol
-		m := spasm.New(cfg)
-		if err := apps.RunSharedMemoryOn(m, r.Scale, "1D-FFT"); err != nil {
-			return nil, ccnuma.Stats{}, err
-		}
-		c, err := core.Analyze("1D-FFT", core.StrategyDynamic, m.Net.Log(), procs,
-			m.Sim.Now(), m.Net.MeanUtilization())
-		return c, m.Mem.Stats(), err
+	protocols := []ccnuma.Protocol{ccnuma.MSI, ccnuma.MESI}
+	specs := make([]pipeline.RunSpec, len(protocols))
+	for i, pr := range protocols {
+		specs[i] = r.spec("1D-FFT", procs)
+		specs[i].Protocol = pr
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return err
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: coherence protocol effect on 1D-FFT (%d processors)", procs),
 		Columns: []string{"Protocol", "Messages", "Upgrades", "SilentUpgr", "Makespan(ms)", "MeanGap(us)"},
 	}
-	for _, pr := range []ccnuma.Protocol{ccnuma.MSI, ccnuma.MESI} {
-		c, st, err := run(pr)
-		if err != nil {
-			return err
+	for i, pr := range protocols {
+		c := arts[i].C
+		var st ccnuma.Stats
+		if arts[i].MemStats != nil {
+			st = *arts[i].MemStats
 		}
 		t.AddRow(pr.String(),
 			fmt.Sprintf("%d", c.Messages),
@@ -153,27 +157,25 @@ func (r *Runner) AblationProtocol(w io.Writer, procs int) error {
 }
 
 // AblationRouting compares deterministic XY with west-first minimal
-// adaptive routing under IS's traffic.
+// adaptive routing under IS's traffic. Both variants run concurrently
+// through the pipeline.
 func (r *Runner) AblationRouting(w io.Writer, procs int) error {
-	run := func(routing mesh.RoutingAlgorithm) (*core.Characterization, error) {
-		cfg := spasm.DefaultConfig(procs)
-		cfg.Mesh.Routing = routing
-		m := spasm.New(cfg)
-		if err := apps.RunSharedMemoryOn(m, r.Scale, "IS"); err != nil {
-			return nil, err
-		}
-		return core.Analyze("IS", core.StrategyDynamic, m.Net.Log(), procs,
-			m.Sim.Now(), m.Net.MeanUtilization())
+	algs := []mesh.RoutingAlgorithm{mesh.RoutingDimensionOrder, mesh.RoutingWestFirst}
+	specs := make([]pipeline.RunSpec, len(algs))
+	for i, alg := range algs {
+		specs[i] = r.spec("IS", procs)
+		specs[i].Routing = alg
+	}
+	arts, err := r.artifacts(specs...)
+	if err != nil {
+		return err
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: routing algorithm effect on IS (%d processors)", procs),
 		Columns: []string{"Routing", "Messages", "MeanLatency(ns)", "MeanBlocked(ns)", "Makespan(ms)"},
 	}
-	for _, alg := range []mesh.RoutingAlgorithm{mesh.RoutingDimensionOrder, mesh.RoutingWestFirst} {
-		c, err := run(alg)
-		if err != nil {
-			return err
-		}
+	for i, alg := range algs {
+		c := arts[i].C
 		t.AddRow(alg.String(),
 			fmt.Sprintf("%d", c.Messages),
 			fmt.Sprintf("%.0f", c.MeanLatencyNS),

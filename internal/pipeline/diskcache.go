@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"commchar/internal/ccnuma"
+	"commchar/internal/core"
+	"commchar/internal/fault"
+	"commchar/internal/spasm"
+	"commchar/internal/trace"
+)
+
+// diskCache is the content-addressed on-disk artifact store. Each entry is
+// a directory named by the spec's canonical key holding
+//
+//	meta.json   the serialized characterization, machine stats, and
+//	            integrity counts
+//	log.csv     the network delivery log (trace.WriteDeliveries format)
+//	trace.csv   the application trace (static strategy only)
+//
+// The characterization is stored in full — distribution fits included, via
+// the family-tagged codec in internal/stats — so a warm load skips both
+// the simulate and the analyze stage. Only the bulky row data (the
+// delivery log and the application trace) lives outside the JSON, in the
+// CSV sidecars, and is rehydrated on load. A corrupt entry (unreadable
+// meta, truncated log, mismatched counts) reads as a miss and the run
+// falls back to simulation.
+type diskCache struct {
+	dir string
+}
+
+// entryMeta is the JSON body of one cache entry.
+type entryMeta struct {
+	// C is the characterization with Log and Trace stripped; they are
+	// rehydrated from the CSV sidecars.
+	C *core.Characterization
+	// Messages is the delivery count; a salvaged (truncated) log that
+	// parses short is rejected against it.
+	Messages int
+	HasTrace bool
+
+	MemStats      *ccnuma.Stats   `json:",omitempty"`
+	Profiles      []spasm.Profile `json:",omitempty"`
+	Failures      []string        `json:",omitempty"`
+	FaultCounters fault.Counters
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// path returns the entry directory for a key, sharded by its first byte.
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key)
+}
+
+// load reads an entry and rehydrates its characterization. Any
+// inconsistency — missing files, truncated or malformed CSV, counts that
+// do not match the metadata — reports a miss.
+func (d *diskCache) load(key string, spec RunSpec) (*Artifact, bool) {
+	dir := d.path(key)
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, false
+	}
+	var meta entryMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil || meta.C == nil {
+		return nil, false
+	}
+
+	lf, err := os.Open(filepath.Join(dir, "log.csv"))
+	if err != nil {
+		return nil, false
+	}
+	log, err := trace.ReadDeliveries(lf)
+	lf.Close()
+	// A *trace.TruncatedError would salvage a prefix, but a partial log is
+	// not the run the characterization describes: reject and re-run.
+	if err != nil || len(log) != meta.Messages {
+		return nil, false
+	}
+
+	c := meta.C
+	c.Log = log
+	if meta.HasTrace {
+		tf, err := os.Open(filepath.Join(dir, "trace.csv"))
+		if err != nil {
+			return nil, false
+		}
+		tr, err := trace.ReadCSV(tf, c.Procs)
+		tf.Close()
+		if err != nil {
+			return nil, false
+		}
+		c.Trace = tr
+	}
+
+	return &Artifact{
+		Spec:          spec,
+		Key:           key,
+		C:             c,
+		MemStats:      meta.MemStats,
+		Profiles:      meta.Profiles,
+		Failures:      meta.Failures,
+		FaultCounters: meta.FaultCounters,
+		Source:        SourceDisk,
+	}, true
+}
+
+// store writes an entry atomically: into a temp directory first, then one
+// rename. A concurrent writer of the same key wins harmlessly — the
+// loser's temp directory is discarded.
+func (d *diskCache) store(key string, art *Artifact) error {
+	tmp, err := os.MkdirTemp(d.dir, "tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	slim := *art.C
+	slim.Log, slim.Trace = nil, nil
+	meta := entryMeta{
+		C:             &slim,
+		Messages:      len(art.C.Log),
+		HasTrace:      art.C.Trace != nil,
+		MemStats:      art.MemStats,
+		Profiles:      art.Profiles,
+		Failures:      art.Failures,
+		FaultCounters: art.FaultCounters,
+	}
+	metaBytes, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "meta.json"), metaBytes, 0o644); err != nil {
+		return err
+	}
+
+	lf, err := os.Create(filepath.Join(tmp, "log.csv"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteDeliveries(lf, art.C.Log); err != nil {
+		lf.Close()
+		return err
+	}
+	if err := lf.Close(); err != nil {
+		return err
+	}
+
+	if art.C.Trace != nil {
+		tf, err := os.Create(filepath.Join(tmp, "trace.csv"))
+		if err != nil {
+			return err
+		}
+		if err := art.C.Trace.WriteCSV(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+
+	final := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err == nil {
+		return nil
+	}
+	// The entry already exists — either a corrupt one this run is healing,
+	// or a concurrent writer's. Two writers of one key hold bit-identical
+	// artifacts, so replacing is always safe.
+	if err := os.RemoveAll(final); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

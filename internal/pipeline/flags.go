@@ -1,0 +1,28 @@
+package pipeline
+
+import (
+	"flag"
+	"runtime"
+)
+
+// Flags is the uniform pipeline flag set shared by every cmd/ tool:
+// -parallel bounds concurrent runs, -cache-dir enables the on-disk cache.
+type Flags struct {
+	Parallel int
+	CacheDir string
+}
+
+// AddFlags registers the pipeline flags on a flag set.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Parallel, "parallel", runtime.GOMAXPROCS(0),
+		"max concurrent characterization runs")
+	fs.StringVar(&f.CacheDir, "cache-dir", "",
+		"content-addressed on-disk cache for characterization runs (empty: disabled)")
+	return f
+}
+
+// Engine builds the engine the flags describe.
+func (f *Flags) Engine() (*Engine, error) {
+	return New(Options{Parallel: f.Parallel, CacheDir: f.CacheDir})
+}

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"commchar/internal/report"
+)
+
+// Metrics aggregates the engine's per-stage counters and timings. All
+// fields are updated atomically, so a single Metrics can be shared by
+// concurrent runs (and by several engines, if a caller wants one summary
+// across tools).
+type Metrics struct {
+	Runs       atomic.Int64 // simulations actually executed
+	MemoryHits atomic.Int64 // served from the in-memory artifact cache
+	DiskHits   atomic.Int64 // served from the on-disk cache
+	DedupHits  atomic.Int64 // callers that piggybacked on an identical in-flight run
+
+	Faulted atomic.Int64 // delivered messages touched by injected faults
+	Failed  atomic.Int64 // messages that were never delivered
+
+	SimEvents atomic.Int64 // simulation events fired across executed runs
+	SimTimeNS atomic.Int64 // simulated time accumulated across executed runs
+
+	AcquireNS atomic.Int64 // wall time in the acquire stage (app execution)
+	ReplayNS  atomic.Int64 // wall time in the log stage (trace replay)
+	AnalyzeNS atomic.Int64 // wall time in the analyze stage (fitting)
+
+	DiskStoreErrors atomic.Int64 // best-effort cache writes that failed
+}
+
+// Summary renders the counters as a report table: the pipeline's per-run
+// summary of what executed, what was cached, and where the time went.
+func (m *Metrics) Summary() *report.Table {
+	t := &report.Table{
+		Title:   "Pipeline summary",
+		Columns: []string{"Counter", "Value"},
+	}
+	ms := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e6) }
+	t.AddRow("runs executed", fmt.Sprintf("%d", m.Runs.Load()))
+	t.AddRow("cache hits (memory)", fmt.Sprintf("%d", m.MemoryHits.Load()))
+	t.AddRow("cache hits (disk)", fmt.Sprintf("%d", m.DiskHits.Load()))
+	t.AddRow("dedup hits", fmt.Sprintf("%d", m.DedupHits.Load()))
+	t.AddRow("faulted messages", fmt.Sprintf("%d", m.Faulted.Load()))
+	t.AddRow("failed deliveries", fmt.Sprintf("%d", m.Failed.Load()))
+	t.AddRow("total sim events", fmt.Sprintf("%d", m.SimEvents.Load()))
+	t.AddRow("total sim time (ms)", ms(m.SimTimeNS.Load()))
+	t.AddRow("acquire wall (ms)", ms(m.AcquireNS.Load()))
+	t.AddRow("replay wall (ms)", ms(m.ReplayNS.Load()))
+	t.AddRow("analyze wall (ms)", ms(m.AnalyzeNS.Load()))
+	if n := m.DiskStoreErrors.Load(); n > 0 {
+		t.AddRow("disk store errors", fmt.Sprintf("%d", n))
+	}
+	return t
+}
+
+// Render writes the summary table.
+func (m *Metrics) Render(w io.Writer) { m.Summary().Render(w) }

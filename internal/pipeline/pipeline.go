@@ -1,0 +1,414 @@
+// Package pipeline is the concurrent, cache-backed run engine behind the
+// experiment harness and the cmd/ tools. A RunSpec — application (or
+// trace), processor count, scale, machine configuration, fault schedule —
+// flows through the methodology's composable stages:
+//
+//	acquire  execute the application (dynamic strategy) or obtain its
+//	         application-level trace (static strategy);
+//	log      replay the trace through the mesh, recording deliveries;
+//	analyze  run the core characterization over the network log.
+//
+// The engine schedules independent specs across a bounded worker pool,
+// deduplicates concurrent requests for the same spec (singleflight), and
+// backs its in-memory artifact cache with an optional content-addressed
+// on-disk cache, so repeated invocations skip simulation entirely.
+//
+// Every run owns its simulator, machine, RNG streams, and log; parallel
+// execution is therefore bit-for-bit identical to sequential execution (a
+// property the experiments test suite enforces).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"commchar/internal/apps"
+	"commchar/internal/ccnuma"
+	"commchar/internal/core"
+	"commchar/internal/fault"
+	"commchar/internal/mesh"
+	"commchar/internal/mp"
+	"commchar/internal/sp2"
+	"commchar/internal/spasm"
+	"commchar/internal/trace"
+)
+
+// Source says where an artifact came from.
+type Source string
+
+const (
+	// SourceRun is a freshly executed simulation.
+	SourceRun Source = "run"
+	// SourceMemory is the engine's in-memory artifact cache.
+	SourceMemory Source = "memory"
+	// SourceDisk is the content-addressed on-disk cache.
+	SourceDisk Source = "disk"
+)
+
+// Artifact is the pipeline's product for one spec: the characterization
+// plus the machine-level observations the experiments draw on.
+type Artifact struct {
+	Spec RunSpec
+	Key  string
+	C    *core.Characterization
+
+	// MemStats are the coherence-protocol counters (dynamic strategy).
+	MemStats *ccnuma.Stats
+	// Profiles are the per-processor execution profiles (dynamic strategy).
+	Profiles []spasm.Profile
+	// Failures are per-message delivery failures of fault-injected runs.
+	Failures []string
+	// FaultCounters are the injector's event counts (fault-injected runs).
+	FaultCounters fault.Counters
+
+	Source Source
+}
+
+// stageResult is what the acquisition stages hand to analyze.
+type stageResult struct {
+	raw           *core.RawRun
+	memStats      *ccnuma.Stats
+	profiles      []spasm.Profile
+	faultCounters fault.Counters
+}
+
+// Options configures an engine.
+type Options struct {
+	// Parallel bounds concurrent simulation runs; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Parallel int
+	// CacheDir enables the content-addressed on-disk cache. Empty
+	// disables it.
+	CacheDir string
+	// Salt is the cache-key code-version salt; empty means DefaultSalt.
+	Salt string
+	// Metrics, when non-nil, receives this engine's counters (so several
+	// engines can share one summary). Nil allocates a fresh set.
+	Metrics *Metrics
+}
+
+// Engine runs specs through the stages with caching, deduplication, and a
+// bounded worker pool. It is safe for concurrent use.
+type Engine struct {
+	parallel int
+	salt     string
+	disk     *diskCache
+	metrics  *Metrics
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	mem      map[string]*Artifact
+	inflight map[string]*call
+
+	// runStages is the acquisition seam; tests substitute synthetic runs.
+	runStages func(RunSpec) (*stageResult, error)
+}
+
+type call struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// New builds an engine. It fails only if the cache directory cannot be
+// created.
+func New(opts Options) (*Engine, error) {
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	salt := opts.Salt
+	if salt == "" {
+		salt = DefaultSalt
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	e := &Engine{
+		parallel: parallel,
+		salt:     salt,
+		metrics:  metrics,
+		sem:      make(chan struct{}, parallel),
+		mem:      map[string]*Artifact{},
+		inflight: map[string]*call{},
+	}
+	e.runStages = e.acquire
+	if opts.CacheDir != "" {
+		d, err := newDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.disk = d
+	}
+	return e, nil
+}
+
+// NewDefault builds an engine with default options (GOMAXPROCS workers, no
+// disk cache). It cannot fail.
+func NewDefault() *Engine {
+	e, err := New(Options{})
+	if err != nil {
+		panic(err) // unreachable: no cache dir to create
+	}
+	return e
+}
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Run characterizes one spec, serving it from cache when possible and
+// joining an identical in-flight run instead of duplicating it.
+func (e *Engine) Run(spec RunSpec) (*Artifact, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	key, err := spec.Key(e.salt)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	if a := e.mem[key]; a != nil {
+		e.mu.Unlock()
+		e.metrics.MemoryHits.Add(1)
+		return a, nil
+	}
+	if c := e.inflight[key]; c != nil {
+		e.mu.Unlock()
+		e.metrics.DedupHits.Add(1)
+		<-c.done
+		return c.art, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	art, err := e.execute(spec, key)
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if err == nil {
+		e.mem[key] = art
+	}
+	e.mu.Unlock()
+
+	c.art, c.err = art, err
+	close(c.done)
+	return art, err
+}
+
+// RunAll characterizes every spec concurrently (bounded by the worker
+// pool) and returns the artifacts in spec order. Errors are joined; the
+// artifact slot of a failed spec is nil.
+func (e *Engine) RunAll(specs ...RunSpec) ([]*Artifact, error) {
+	arts := make([]*Artifact, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			art, err := e.Run(spec)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", spec.label(), err)
+				return
+			}
+			arts[i] = art
+		}(i, spec)
+	}
+	wg.Wait()
+	return arts, errors.Join(errs...)
+}
+
+// execute produces the artifact for a spec the caches cannot serve.
+func (e *Engine) execute(spec RunSpec, key string) (*Artifact, error) {
+	if e.disk != nil {
+		if art, ok := e.disk.load(key, spec); ok {
+			e.metrics.DiskHits.Add(1)
+			return art, nil
+		}
+	}
+
+	e.sem <- struct{}{}
+	res, err := e.runStages(spec)
+	<-e.sem
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", spec.label(), err)
+	}
+
+	strategy := core.StrategyStatic
+	if res.raw.Trace == nil {
+		strategy = core.StrategyDynamic
+	}
+	start := time.Now()
+	c, err := res.raw.Characterize(spec.label(), strategy)
+	e.metrics.AnalyzeNS.Add(int64(time.Since(start)))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", spec.label(), err)
+	}
+
+	e.metrics.Runs.Add(1)
+	e.metrics.SimEvents.Add(res.raw.Events)
+	e.metrics.SimTimeNS.Add(int64(res.raw.Elapsed))
+	var faulted, failed int64
+	for _, d := range res.raw.Log {
+		if d.Faults != 0 {
+			faulted++
+		}
+		if d.Status != mesh.StatusDelivered {
+			failed++
+		}
+	}
+	e.metrics.Faulted.Add(faulted)
+	e.metrics.Failed.Add(failed)
+
+	failures := make([]string, 0, len(res.raw.Failures))
+	for _, err := range res.raw.Failures {
+		failures = append(failures, err.Error())
+	}
+	art := &Artifact{
+		Spec:          spec,
+		Key:           key,
+		C:             c,
+		MemStats:      res.memStats,
+		Profiles:      res.profiles,
+		Failures:      failures,
+		FaultCounters: res.faultCounters,
+		Source:        SourceRun,
+	}
+	if e.disk != nil {
+		if err := e.disk.store(key, art); err != nil {
+			e.metrics.DiskStoreErrors.Add(1)
+		}
+	}
+	return art, nil
+}
+
+// meshConfig builds the run's mesh configuration from the spec overrides.
+func (e *Engine) meshConfig(spec RunSpec) mesh.Config {
+	cfg := core.MeshFor(spec.Procs)
+	if spec.Width > 0 {
+		cfg = mesh.DefaultConfig(spec.Width, spec.Height)
+	}
+	if spec.CycleTime > 0 {
+		cfg.CycleTime = spec.CycleTime
+	}
+	if spec.VirtualChannels > 0 {
+		cfg.VirtualChannels = spec.VirtualChannels
+	}
+	cfg.Routing = spec.Routing
+	return cfg
+}
+
+// faultSchedule parses the spec's fault schedule; every run gets its own
+// (schedules carry RNG state, so they must never be shared across runs).
+func (e *Engine) faultSchedule(spec RunSpec) (*fault.Schedule, error) {
+	if spec.Faults == "" {
+		return nil, nil
+	}
+	return fault.Parse(spec.Faults, spec.FaultSeed)
+}
+
+// acquire is the real acquisition path: run the application (or replay the
+// given trace) and collect the raw network log.
+func (e *Engine) acquire(spec RunSpec) (*stageResult, error) {
+	if spec.Trace != nil {
+		return e.acquireReplay(spec)
+	}
+	wl, err := apps.ByName(spec.Scale, spec.App)
+	if err != nil {
+		return nil, err
+	}
+	if wl.Strategy == core.StrategyDynamic {
+		return e.acquireDynamic(spec)
+	}
+	return e.acquireStatic(spec)
+}
+
+// acquireDynamic executes a shared-memory application on a machine built
+// from the spec (execution-driven strategy).
+func (e *Engine) acquireDynamic(spec RunSpec) (*stageResult, error) {
+	cfg := spasm.DefaultConfig(spec.Procs)
+	cfg.Mesh = e.meshConfig(spec)
+	cfg.Barrier = spec.Barrier
+	cfg.Memory.Protocol = spec.Protocol
+	if spec.CacheBytes > 0 {
+		cfg.Memory.CacheBytes = spec.CacheBytes
+	}
+	sched, err := e.faultSchedule(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := spasm.New(cfg)
+	if sched != nil {
+		m.Net.SetFaults(sched)
+	}
+	start := time.Now()
+	raw, err := core.AcquireSharedMemoryOn(m, func(m *spasm.Machine) error {
+		return apps.RunSharedMemoryOn(m, spec.Scale, spec.App)
+	})
+	e.metrics.AcquireNS.Add(int64(time.Since(start)))
+	if err != nil {
+		return nil, err
+	}
+	res := &stageResult{raw: raw, profiles: m.Profiles()}
+	st := m.Mem.Stats()
+	res.memStats = &st
+	if sched != nil {
+		res.faultCounters = sched.Counters()
+	}
+	return res, nil
+}
+
+// acquireStatic executes a message-passing application natively to record
+// its trace, then replays the trace through the mesh (trace-driven
+// strategy).
+func (e *Engine) acquireStatic(spec RunSpec) (*stageResult, error) {
+	start := time.Now()
+	tr, err := core.AcquireMessagePassing(spec.Procs, func(w *mp.World) error {
+		return apps.RunMessagePassingOn(w, spec.Scale, spec.App, spec.Procs)
+	})
+	e.metrics.AcquireNS.Add(int64(time.Since(start)))
+	if err != nil {
+		return nil, err
+	}
+	return e.replay(spec, tr, sp2.Default())
+}
+
+// acquireReplay is the acquisition path of an externally supplied trace
+// (meshsim): the acquire stage is the trace itself; only the log stage
+// runs.
+func (e *Engine) acquireReplay(spec RunSpec) (*stageResult, error) {
+	var cost trace.CostModel
+	if spec.UseSP2 {
+		cost = sp2.Default()
+	}
+	return e.replay(spec, spec.Trace, cost)
+}
+
+// replay is the shared log stage: drive the trace through the mesh.
+func (e *Engine) replay(spec RunSpec, tr *trace.Trace, cost trace.CostModel) (*stageResult, error) {
+	sched, err := e.faultSchedule(spec)
+	if err != nil {
+		return nil, err
+	}
+	var inj mesh.Injector
+	if sched != nil {
+		inj = sched
+	}
+	start := time.Now()
+	raw, err := core.ReplayTrace(tr, e.meshConfig(spec), cost, inj, spec.Watchdog)
+	e.metrics.ReplayNS.Add(int64(time.Since(start)))
+	if err != nil {
+		return nil, err
+	}
+	res := &stageResult{raw: raw}
+	if sched != nil {
+		res.faultCounters = sched.Counters()
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"commchar/internal/apps"
+	"commchar/internal/ccnuma"
+	"commchar/internal/mesh"
+	"commchar/internal/sim"
+	"commchar/internal/spasm"
+	"commchar/internal/trace"
+)
+
+// DefaultSalt is the code-version component of every cache key. Bump it
+// whenever a change to the simulators or the analysis alters what a spec
+// produces, so stale on-disk artifacts invalidate themselves.
+const DefaultSalt = "commchar-pipeline-v1"
+
+// RunSpec names one characterization run: which application (or trace) to
+// acquire, on how many processors, at what scale, and under which machine
+// configuration. Two specs with equal canonical keys produce bit-identical
+// artifacts, which is what makes the run cacheable and deduplicatable.
+//
+// Zero-valued override fields mean "package default"; the defaults are
+// part of the key, so changing an override never aliases a cached run.
+type RunSpec struct {
+	// App names a workload of the suite (see internal/apps). Mutually
+	// exclusive with Trace.
+	App   string
+	Procs int
+	Scale apps.Scale
+
+	// Name labels the run in reports; defaults to App (or "trace").
+	Name string
+
+	// Machine overrides. Zero values select the package defaults.
+	CycleTime       sim.Duration          // mesh flit-cycle time
+	CacheBytes      int                   // per-processor cache capacity
+	VirtualChannels int                   // lanes per physical link
+	Width, Height   int                   // mesh geometry (both or neither)
+	Barrier         spasm.BarrierKind     // barrier algorithm (dynamic strategy)
+	Protocol        ccnuma.Protocol       // coherence protocol (dynamic strategy)
+	Routing         mesh.RoutingAlgorithm // mesh routing algorithm
+
+	// Fault injection: a deterministic schedule (see internal/fault) and
+	// its seed. Empty means a fault-free run.
+	Faults    string
+	FaultSeed uint64
+
+	// Trace switches acquisition to trace replay: the trace is replayed
+	// through the mesh instead of executing an application. The cache key
+	// covers the full trace content.
+	Trace *trace.Trace
+	// UseSP2 charges IBM SP2 software overheads during trace replay.
+	UseSP2 bool
+
+	// Watchdog bounds the run (trace replay only). It is not part of the
+	// cache key: a tripped watchdog fails the run, and failed runs are
+	// never cached.
+	Watchdog sim.Watchdog
+}
+
+// label returns the run's display name.
+func (s RunSpec) label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.App != "" {
+		return s.App
+	}
+	return "trace"
+}
+
+// validate rejects malformed specs before any simulation runs.
+func (s RunSpec) validate() error {
+	if (s.App == "") == (s.Trace == nil) {
+		return fmt.Errorf("pipeline: spec needs exactly one of App or Trace")
+	}
+	if s.Procs < 2 {
+		return fmt.Errorf("pipeline: %d processors (need at least 2)", s.Procs)
+	}
+	if (s.Width > 0) != (s.Height > 0) {
+		return fmt.Errorf("pipeline: mesh override needs both Width and Height")
+	}
+	if s.Width > 0 && s.Width*s.Height < s.Procs {
+		return fmt.Errorf("pipeline: %dx%d mesh too small for %d processors", s.Width, s.Height, s.Procs)
+	}
+	return nil
+}
+
+// Key returns the spec's content-addressed cache key: a hex SHA-256 over
+// the canonical rendering of every result-affecting field plus the
+// code-version salt. Trace specs hash the full trace content.
+func (s RunSpec) Key(salt string) (string, error) {
+	if salt == "" {
+		salt = DefaultSalt
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "salt=%s|app=%s|procs=%d|scale=%d|", salt, s.App, s.Procs, s.Scale)
+	fmt.Fprintf(h, "cycle=%d|cache=%d|vcs=%d|mesh=%dx%d|barrier=%d|protocol=%d|routing=%d|",
+		s.CycleTime, s.CacheBytes, s.VirtualChannels, s.Width, s.Height, s.Barrier, s.Protocol, s.Routing)
+	fmt.Fprintf(h, "faults=%s|faultseed=%d|sp2=%t|", s.Faults, s.FaultSeed, s.UseSP2)
+	if s.Trace != nil {
+		io.WriteString(h, "trace=")
+		if err := s.Trace.WriteCSV(h); err != nil {
+			return "", fmt.Errorf("pipeline: hashing trace: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

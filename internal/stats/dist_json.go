@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// candidateFitJSON is the wire form of a CandidateFit: the distribution is
+// tagged with its family name so the concrete type can be restored on
+// decode (Distribution is an interface, which encoding/json cannot
+// unmarshal unaided).
+type candidateFitJSON struct {
+	Family string
+	Dist   json.RawMessage
+	R2     float64
+	KS     float64
+	Chi    ChiSquareResult
+	Iters  int
+}
+
+func decodeDist[D Distribution](raw []byte) (Distribution, error) {
+	var d D
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// distDecoders maps Distribution.Name() to its concrete decoder. Every
+// family the fitters can produce must appear here for a fit to survive a
+// serialization round trip.
+var distDecoders = map[string]func([]byte) (Distribution, error){
+	Exponential{}.Name():   decodeDist[Exponential],
+	HyperExp2{}.Name():     decodeDist[HyperExp2],
+	Erlang{}.Name():        decodeDist[Erlang],
+	Weibull{}.Name():       decodeDist[Weibull],
+	Lognormal{}.Name():     decodeDist[Lognormal],
+	Uniform{}.Name():       decodeDist[Uniform],
+	Deterministic{}.Name(): decodeDist[Deterministic],
+	Normal{}.Name():        decodeDist[Normal],
+	Gamma{}.Name():         decodeDist[Gamma],
+	Lomax{}.Name():         decodeDist[Lomax],
+}
+
+// MarshalJSON encodes the fit with its distribution tagged by family.
+func (f CandidateFit) MarshalJSON() ([]byte, error) {
+	if f.Dist == nil {
+		return nil, fmt.Errorf("stats: cannot serialize a fit with no distribution")
+	}
+	raw, err := json.Marshal(f.Dist)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(candidateFitJSON{
+		Family: f.Dist.Name(), Dist: raw, R2: f.R2, KS: f.KS, Chi: f.Chi, Iters: f.Iters,
+	})
+}
+
+// UnmarshalJSON restores a fit serialized by MarshalJSON.
+func (f *CandidateFit) UnmarshalJSON(b []byte) error {
+	var aux candidateFitJSON
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	dec, ok := distDecoders[aux.Family]
+	if !ok {
+		return fmt.Errorf("stats: unknown distribution family %q", aux.Family)
+	}
+	d, err := dec(aux.Dist)
+	if err != nil {
+		return err
+	}
+	*f = CandidateFit{Dist: d, R2: aux.R2, KS: aux.KS, Chi: aux.Chi, Iters: aux.Iters}
+	return nil
+}

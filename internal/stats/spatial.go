@@ -206,7 +206,7 @@ func AnalyzeLengths(lengths []int) LengthProfile {
 	for l, c := range byLen {
 		p.Distinct = append(p.Distinct, LengthCount{Bytes: l, Count: c})
 	}
-	sort.Slice(p.Distinct, func(i, j int) bool {
+	sort.SliceStable(p.Distinct, func(i, j int) bool {
 		if p.Distinct[i].Count != p.Distinct[j].Count {
 			return p.Distinct[i].Count > p.Distinct[j].Count
 		}
