@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +33,7 @@ import (
 
 func main() { cli.Main("characterize", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	app := fs.String("app", "", "application name (see -list)")
@@ -42,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
 	pf := pipeline.AddFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -68,8 +69,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	defer eng.Metrics().Render(stderr)
-	art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+	art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 	if err != nil {
 		return err
 	}

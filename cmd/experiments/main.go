@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,14 +28,14 @@ import (
 
 func main() { cli.Main("experiments", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	procs := fs.Int("procs", 16, "number of processors")
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	only := fs.String("only", "", "run a single experiment (substring of its key, e.g. 'Table 2')")
 	pf := pipeline.AddFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -51,11 +52,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	// The summary goes to stderr so stdout stays byte-identical across
 	// -parallel settings and cache states (cold vs warm).
 	defer eng.Metrics().Render(stderr)
 
-	r := experiments.NewRunnerWith(sc, eng)
+	r := experiments.NewRunnerWith(sc, eng).WithContext(ctx)
 	steps := r.Steps(*procs)
 	if *only != "" {
 		var picked []experiments.Step
@@ -76,5 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		steps = picked
 	}
-	return experiments.RunSteps(stdout, steps)
+	// -on-error governs both layers: the engine's sweep policy (set via
+	// the shared pipeline flags) and whether a failed step stops the tool.
+	stopOnFailure := pf.OnError == "fail"
+	return experiments.RunStepsContext(ctx, stdout, steps, stopOnFailure)
 }

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func readSamples(r io.Reader) ([]float64, error) {
 
 func main() { cli.Main("fitdist", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fitdist", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input file (default: stdin)")
@@ -65,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.String("scale", "full", "problem scale: full or small (with -app)")
 	overlay := fs.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
 	pf := pipeline.AddFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	if *app != "" && *in != "" {
@@ -85,8 +86,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer eng.Close()
 		defer eng.Metrics().Render(stderr)
-		art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+		art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,7 +35,7 @@ import (
 
 func main() { cli.Main("meshsim", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("meshsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	traceFile := fs.String("trace", "", "trace CSV file (required)")
@@ -50,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxWall := fs.Duration("max-wall", 0, "watchdog: abort after this much wall-clock time (0 = unlimited)")
 	out := fs.String("out", "", "write the delivery log (CSV) to this file")
 	pf := pipeline.AddFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -94,8 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	defer eng.Metrics().Render(stderr)
-	art, err := eng.Run(pipeline.RunSpec{
+	art, err := eng.RunContext(ctx, pipeline.RunSpec{
 		Trace:           tr,
 		Procs:           *ranks,
 		Width:           w,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ func TestFaultRunDeterministic(t *testing.T) {
 	logOnce := func(seed string) ([]byte, string) {
 		out := filepath.Join(t.TempDir(), "deliveries.csv")
 		var stdout, stderr bytes.Buffer
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-trace", tracePath, "-ranks", "4", "-width", "2", "-height", "2",
 			"-faults", "drop:0.2", "-fault-seed", seed,
 			"-max-events", "5000000", "-out", out,
@@ -92,12 +93,12 @@ func TestFaultRunDeterministic(t *testing.T) {
 // runtime failures.
 func TestUsageErrors(t *testing.T) {
 	var out bytes.Buffer
-	err := run(nil, &out, &out)
+	err := run(context.Background(), nil, &out, &out)
 	var ue *cli.UsageError
 	if !errors.As(err, &ue) {
 		t.Fatalf("missing -trace: expected UsageError, got %v", err)
 	}
-	err = run([]string{"-trace", "x.csv", "-faults", "nonsense"}, &out, &out)
+	err = run(context.Background(), []string{"-trace", "x.csv", "-faults", "nonsense"}, &out, &out)
 	if !errors.As(err, &ue) {
 		t.Fatalf("bad -faults: expected UsageError, got %v", err)
 	}

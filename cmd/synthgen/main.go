@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,7 +32,7 @@ import (
 
 func main() { cli.Main("synthgen", run) }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	app := fs.String("app", "", "application name to characterize and regenerate")
@@ -41,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed for the synthetic generator")
 	elapsedMS := fs.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
 	pf := pipeline.AddFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -59,8 +60,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer eng.Close()
 		defer eng.Metrics().Render(stderr)
-		art, err := eng.Run(pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+		art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 		if err != nil {
 			return err
 		}

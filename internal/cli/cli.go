@@ -1,21 +1,45 @@
 // Package cli is the shared command-line harness of the cmd/ tools. Every
-// tool implements run(args, stdout, stderr) error; this package maps the
-// returned error onto the conventional exit codes (2 for usage mistakes, 1
-// for runtime failures) and converts panics escaping a tool into structured
-// errors instead of raw crashes, so a broken sub-step degrades gracefully.
+// tool implements run(ctx, args, stdout, stderr) error; this package wires
+// SIGINT/SIGTERM into the context (first signal cancels cooperatively,
+// second kills), maps the returned error onto the exit-code conventions,
+// and converts panics escaping a tool into structured errors instead of
+// raw crashes, so a broken sub-step degrades gracefully.
+//
+// Exit codes:
+//
+//	0    success (also -h/-help)
+//	1    runtime failure — the tool produced no usable result
+//	2    usage mistake (bad flag value, missing argument)
+//	3    degraded success — a sweep under -on-error=continue completed
+//	     with partial results; some specs failed, the rest are valid
+//	130  cancelled — the run was interrupted (128 + SIGINT), after
+//	     draining workers and flushing the cache and journal
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime/debug"
+	"os/signal"
+	"syscall"
+
+	"commchar/internal/resilience"
+)
+
+// Exit codes of the cmd/ tools (see the package comment).
+const (
+	ExitOK        = 0
+	ExitFailure   = 1
+	ExitUsage     = 2
+	ExitDegraded  = 3
+	ExitCancelled = 130
 )
 
 // UsageError marks a command-line mistake (bad flag value, missing
-// argument); tools exit with status 2 on it.
+// argument); tools exit with ExitUsage on it.
 type UsageError struct {
 	Msg string
 }
@@ -27,51 +51,75 @@ func Usagef(format string, args ...any) error {
 	return &UsageError{Msg: fmt.Sprintf(format, args...)}
 }
 
-// PanicError is a panic converted into an error at a recovery boundary. It
-// keeps the panic value and the stack of the panicking goroutine so the
-// failure stays diagnosable after recovery.
-type PanicError struct {
-	Value any
-	Stack []byte
+// ParseFlags parses args with fs, classifying parse failures (unknown
+// flag, malformed value) as usage errors; -h/-help passes through as
+// flag.ErrHelp, which still exits 0.
+func ParseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return Usagef("%v", err)
+	}
+	return nil
 }
 
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("internal error: panic: %v", e.Value)
-}
+// PanicError is a panic converted into an error at a recovery boundary.
+// It is an alias of the resilience package's type, kept here so existing
+// errors.As call sites keep matching panics recovered at either layer.
+type PanicError = resilience.PanicError
 
 // Protect runs fn, converting a panic into a *PanicError. It is the
 // recovery boundary the tools and the experiment pipeline wrap around
 // sub-steps so one failing step cannot take down the whole run.
-func Protect(fn func() error) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = &PanicError{Value: r, Stack: debug.Stack()}
-		}
-	}()
-	return fn()
-}
+func Protect(fn func() error) error { return resilience.Protect(fn) }
 
-// ExitCode maps an error from run onto the process exit status: 0 for nil
-// (and for -h/-help), 2 for usage errors, 1 for everything else.
+// degraded is the marker interface of partial-success errors (see
+// pipeline.DegradedError); defined structurally so cli does not import
+// the pipeline.
+type degraded interface{ Degraded() bool }
+
+// ExitCode maps an error from run onto the process exit status (see the
+// package comment for the table). Cancellation is checked before the
+// degraded marker: a sweep cut short by SIGINT reports "interrupted", not
+// "partially failed", even though both are true.
 func ExitCode(err error) int {
-	switch {
-	case err == nil, errors.Is(err, flag.ErrHelp):
-		return 0
-	default:
-		var ue *UsageError
-		if errors.As(err, &ue) {
-			return 2
-		}
-		return 1
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return ExitOK
 	}
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		return ExitUsage
+	}
+	if errors.Is(err, context.Canceled) {
+		return ExitCancelled
+	}
+	var d degraded
+	if errors.As(err, &d) && d.Degraded() {
+		return ExitDegraded
+	}
+	return ExitFailure
 }
 
-// Main is the shared main() body: it runs the tool under the panic
-// recovery boundary, reports the error, and exits with the conventional
-// status. A *PanicError additionally dumps the captured stack.
-func Main(name string, run func(args []string, stdout, stderr io.Writer) error) {
+// Main is the shared main() body: it installs the signal-cancelled
+// context, runs the tool under the panic recovery boundary, reports the
+// error, and exits with the conventional status. The first SIGINT or
+// SIGTERM cancels the context — the tool drains its workers, flushes its
+// cache and journal, and returns context.Canceled (exit 130); a second
+// signal reverts to the default handler and kills the process
+// immediately. A *PanicError additionally dumps the captured stack.
+func Main(name string, run func(ctx context.Context, args []string, stdout, stderr io.Writer) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Restore default signal disposition once cancellation is under
+		// way, so an impatient second Ctrl-C still works.
+		stop()
+	}()
+
 	err := Protect(func() error {
-		return run(os.Args[1:], os.Stdout, os.Stderr)
+		return run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	})
 	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"commchar/internal/mesh"
@@ -40,7 +41,18 @@ func (r *RawRun) Characterize(name string, strategy Strategy) (*Characterization
 // AcquireSharedMemoryOn is the dynamic-strategy acquisition stage on a
 // caller-built machine: execute the kernel and collect the network log.
 func AcquireSharedMemoryOn(m *spasm.Machine, run func(m *spasm.Machine) error) (*RawRun, error) {
+	return AcquireSharedMemoryOnContext(context.Background(), m, run)
+}
+
+// AcquireSharedMemoryOnContext is AcquireSharedMemoryOn under cooperative
+// cancellation: the machine's simulator polls ctx inside its cycle loop,
+// so a hung or runaway kernel is killable mid-execution.
+func AcquireSharedMemoryOnContext(ctx context.Context, m *spasm.Machine, run func(m *spasm.Machine) error) (*RawRun, error) {
+	m.Sim.SetContext(ctx)
 	if err := run(m); err != nil {
+		return nil, err
+	}
+	if err := m.Sim.Interrupted(); err != nil {
 		return nil, err
 	}
 	return &RawRun{
@@ -73,7 +85,16 @@ func AcquireMessagePassing(procs int, run func(w *mp.World) error) (*trace.Trace
 // under an optional fault injector and watchdog, and collect the network
 // log. The trace's rank count is used as the processor count of the run.
 func ReplayTrace(tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog) (*RawRun, error) {
+	return ReplayTraceContext(context.Background(), tr, cfg, cost, inj, wd)
+}
+
+// ReplayTraceContext is ReplayTrace under cooperative cancellation: the
+// simulator's cycle loop polls ctx, so a hung or fault-livelocked replay
+// is killable; the returned *sim.DeadlockError then carries the usual
+// blocked-process diagnostics with the context's error as its cause.
+func ReplayTraceContext(ctx context.Context, tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog) (*RawRun, error) {
 	s := sim.New()
+	s.SetContext(ctx)
 	net := mesh.New(s, cfg)
 	if inj != nil {
 		net.SetFaults(inj)
@@ -82,7 +103,7 @@ func ReplayTrace(tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mes
 		return nil, err
 	}
 	s.SetWatchdog(wd)
-	if err := s.RunChecked(); err != nil {
+	if err := s.RunCheckedContext(ctx); err != nil {
 		return nil, err
 	}
 	return &RawRun{

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -28,6 +29,7 @@ import (
 type Runner struct {
 	Scale apps.Scale
 	eng   *pipeline.Engine
+	ctx   context.Context
 }
 
 // NewRunner returns a runner at the given scale on a default engine
@@ -40,7 +42,15 @@ func NewRunner(scale apps.Scale) *Runner {
 // different scales may safely share one engine: the pipeline's cache key
 // covers the full spec, scale included.
 func NewRunnerWith(scale apps.Scale, eng *pipeline.Engine) *Runner {
-	return &Runner{Scale: scale, eng: eng}
+	return &Runner{Scale: scale, eng: eng, ctx: context.Background()}
+}
+
+// WithContext returns a runner whose characterization runs are cancelled
+// with ctx (a SIGINT'd tool drains the pipeline instead of dying mid-run).
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
 }
 
 // Engine exposes the runner's engine (for metrics summaries).
@@ -54,7 +64,7 @@ func (r *Runner) spec(name string, procs int) pipeline.RunSpec {
 // artifacts fans the specs out across the engine's worker pool and returns
 // them in order: the parallel core of every table and figure.
 func (r *Runner) artifacts(specs ...pipeline.RunSpec) ([]*pipeline.Artifact, error) {
-	arts, err := r.eng.RunAll(specs...)
+	arts, err := r.eng.RunAllContext(r.ctx, specs...)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -62,7 +72,7 @@ func (r *Runner) artifacts(specs ...pipeline.RunSpec) ([]*pipeline.Artifact, err
 }
 
 func (r *Runner) characterize(name string, procs int) (*core.Characterization, error) {
-	art, err := r.eng.Run(r.spec(name, procs))
+	art, err := r.eng.RunContext(r.ctx, r.spec(name, procs))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}
@@ -425,16 +435,42 @@ func (e *SweepError) Error() string {
 	return b.String()
 }
 
+// Degraded marks a partially successful sweep (see cli.ExitCode): some
+// steps emitted their results, the named ones did not. A sweep where
+// every step failed is a plain failure, not a degraded success.
+func (e *SweepError) Degraded() bool { return len(e.Failed) < e.Total }
+
 // RunSteps runs each step under a panic recovery boundary and keeps going
 // past failures, so one broken experiment cannot suppress the rest of the
 // sweep's results. It returns a *SweepError naming the failed steps, or
 // nil if everything passed.
 func RunSteps(w io.Writer, steps []Step) error {
+	return RunStepsContext(context.Background(), w, steps, false)
+}
+
+// RunStepsContext is RunSteps under cooperative cancellation and a
+// failure policy. The context is checked between steps (and every
+// step's runs observe it through the runner); once it is cancelled the
+// sweep stops and reports ctx.Err, so an interrupted tool exits as
+// cancelled, not as a cascade of step failures. With stopOnFailure the
+// sweep stops at the first failed step instead of continuing.
+func RunStepsContext(ctx context.Context, w io.Writer, steps []Step, stopOnFailure bool) error {
 	var failed []StepFailure
 	for _, s := range steps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "\n================ %s ================\n", s.Name)
 		err := cli.Protect(func() error { return s.Run(w) })
 		if err != nil {
+			if ctx.Err() != nil {
+				// The step failed because the sweep was cancelled out
+				// from under it; report the interruption, not the step.
+				return ctx.Err()
+			}
+			if stopOnFailure {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
 			fmt.Fprintf(w, "FAILED: %v (continuing)\n", err)
 			failed = append(failed, StepFailure{Name: s.Name, Err: err})
 		}
@@ -448,5 +484,5 @@ func RunSteps(w io.Writer, steps []Step) error {
 // All regenerates every table, figure, and ablation in order, continuing
 // past individual failures.
 func (r *Runner) All(w io.Writer, procs int) error {
-	return RunSteps(w, r.Steps(procs))
+	return RunStepsContext(r.ctx, w, r.Steps(procs), false)
 }

@@ -123,3 +123,18 @@ func (e *ErrExhausted) Error() string {
 	return fmt.Sprintf("mesh: message %d (%d->%d) dropped after %d retransmissions, t=%d",
 		e.MsgID, e.Src, e.Dst, e.Retries, e.Time)
 }
+
+// ErrCancelled is the structured error recorded when a worm gave up
+// because the run's context was cancelled: the message was abandoned by
+// the shutdown, not lost to a fault.
+type ErrCancelled struct {
+	MsgID    int64
+	Src, Dst int
+	Retries  int
+	Time     sim.Time
+}
+
+func (e *ErrCancelled) Error() string {
+	return fmt.Sprintf("mesh: message %d (%d->%d) abandoned by cancellation after %d retransmissions, t=%d",
+		e.MsgID, e.Src, e.Dst, e.Retries, e.Time)
+}

@@ -328,6 +328,19 @@ func (n *Network) deliver(p *sim.Process, m Message, done func(Delivery)) {
 	var blocked sim.Duration
 	var flags FaultFlags
 	for attempt := 0; ; attempt++ {
+		// A cancelled run must not keep retransmitting: if the simulator
+		// is stepped past the cancellation point (a caller draining the
+		// calendar), the worm gives itself up instead of spinning through
+		// its backoff schedule.
+		if n.sim.Interrupted() != nil {
+			d := Delivery{Message: m, Blocked: blocked, Retries: attempt, Faults: flags,
+				Status: StatusFailed}
+			n.failures = append(n.failures, &ErrCancelled{
+				MsgID: m.ID, Src: m.Src, Dst: m.Dst, Retries: attempt, Time: p.Now(),
+			})
+			n.complete(m, d, done)
+			return
+		}
 		hops, outcome := n.attempt(p, m, attempt, &blocked, &flags)
 		d := Delivery{Message: m, Blocked: blocked, Hops: hops, Retries: attempt, Faults: flags}
 		switch outcome {

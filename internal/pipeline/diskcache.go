@@ -172,14 +172,27 @@ func (d *diskCache) store(key string, art *Artifact) error {
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err == nil {
-		return nil
+	// Publishing can collide: two engines (or two processes) may finish the
+	// same key together, and rename-onto-a-nonempty-directory fails on
+	// every platform. Two writers of one key hold bit-identical artifacts,
+	// so whoever lands a readable entry wins; the loser only has to notice.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := os.Rename(tmp, final); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if _, ok := d.load(key, art.Spec); ok {
+			// A concurrent writer published an intact entry; ours is
+			// redundant, not lost.
+			return nil
+		}
+		// The existing entry is corrupt (or a racer is mid-replace):
+		// clear it and retry the publish.
+		if err := os.RemoveAll(final); err != nil {
+			return err
+		}
 	}
-	// The entry already exists — either a corrupt one this run is healing,
-	// or a concurrent writer's. Two writers of one key hold bit-identical
-	// artifacts, so replacing is always safe.
-	if err := os.RemoveAll(final); err != nil {
-		return err
-	}
-	return os.Rename(tmp, final)
+	return fmt.Errorf("pipeline: cache store %s: %w", key[:12], lastErr)
 }

@@ -3,13 +3,22 @@ package pipeline
 import (
 	"flag"
 	"runtime"
+	"time"
+
+	"commchar/internal/cli"
 )
 
 // Flags is the uniform pipeline flag set shared by every cmd/ tool:
-// -parallel bounds concurrent runs, -cache-dir enables the on-disk cache.
+// -parallel bounds concurrent runs, -cache-dir enables the on-disk cache,
+// -on-error picks the sweep failure policy, -spec-timeout bounds each run,
+// and -journal/-resume drive the write-ahead sweep journal.
 type Flags struct {
-	Parallel int
-	CacheDir string
+	Parallel    int
+	CacheDir    string
+	OnError     string
+	SpecTimeout time.Duration
+	JournalPath string
+	Resume      bool
 }
 
 // AddFlags registers the pipeline flags on a flag set.
@@ -19,10 +28,52 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"max concurrent characterization runs")
 	fs.StringVar(&f.CacheDir, "cache-dir", "",
 		"content-addressed on-disk cache for characterization runs (empty: disabled)")
+	fs.StringVar(&f.OnError, "on-error", "continue",
+		"sweep failure policy: continue (finish remaining runs, report losses) or fail (cancel at first failure)")
+	fs.DurationVar(&f.SpecTimeout, "spec-timeout", 0,
+		"per-run wall-time deadline (0: unlimited)")
+	fs.StringVar(&f.JournalPath, "journal", "",
+		"write-ahead sweep journal recording completed runs (empty: disabled)")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume from the journal instead of starting fresh (requires -journal and -cache-dir)")
 	return f
 }
 
-// Engine builds the engine the flags describe.
+// Engine builds the engine the flags describe. The caller owns the
+// engine's Close (which releases the journal).
 func (f *Flags) Engine() (*Engine, error) {
-	return New(Options{Parallel: f.Parallel, CacheDir: f.CacheDir})
+	onError, err := ParseOnError(f.OnError)
+	if err != nil {
+		return nil, cli.Usagef("-on-error: %v", err)
+	}
+	if f.Resume && f.JournalPath == "" {
+		return nil, cli.Usagef("-resume requires -journal")
+	}
+	if f.Resume && f.CacheDir == "" {
+		// The journal proves completion; the disk cache holds the
+		// artifacts. Resuming without the cache would silently re-run
+		// everything, which is worse than saying so.
+		return nil, cli.Usagef("-resume requires -cache-dir (the journal records keys, the cache holds the artifacts)")
+	}
+	var journal *Journal
+	if f.JournalPath != "" {
+		journal, err = OpenJournal(f.JournalPath, f.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := New(Options{
+		Parallel:    f.Parallel,
+		CacheDir:    f.CacheDir,
+		OnError:     onError,
+		SpecTimeout: f.SpecTimeout,
+		Journal:     journal,
+	})
+	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
+		return nil, err
+	}
+	return eng, nil
 }

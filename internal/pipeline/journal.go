@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Journal is the write-ahead sweep journal: one cache key per line,
+// appended (and fsynced) the moment a spec's artifact lands. After a
+// crash or an interrupt, reopening the journal in resume mode replays the
+// recorded keys so finished work is recognized without re-simulation —
+// the disk cache holds the artifacts, the journal holds the proof of
+// completion.
+//
+// Appends are atomic at the filesystem level: each record is a single
+// short write to an O_APPEND descriptor, well under PIPE_BUF, so
+// concurrent workers never interleave partial lines. A torn final line
+// from a crash mid-write is detected on open and truncated away.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[string]struct{}
+}
+
+// isKeyLine accepts exactly the journal's record shape: a lowercase-hex
+// SHA-256 cache key. Anything else is damage and is discarded on open.
+func isKeyLine(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenJournal opens (creating if needed) the sweep journal at path. With
+// resume true, previously recorded keys are loaded and reported by Done;
+// otherwise the journal is truncated and the sweep starts fresh. A
+// partial or malformed tail (crash mid-append) is truncated to the last
+// complete record.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, done: map[string]struct{}{}}
+	if !resume {
+		return j, nil
+	}
+
+	// Replay: keep complete, well-formed records; stop at the first torn
+	// or malformed line and truncate the file there, so the next append
+	// starts on a clean boundary.
+	sc := bufio.NewScanner(f)
+	valid := int64(0)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if !isKeyLine(line) {
+			break
+		}
+		j.done[line] = struct{}{}
+		valid += int64(len(sc.Bytes())) + 1
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	return j, nil
+}
+
+// Done reports whether key was recorded as completed (in this run or, in
+// resume mode, a previous one).
+func (j *Journal) Done(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[key]
+	return ok
+}
+
+// Len returns the number of recorded keys.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Append records key as completed and syncs the record to disk. Appending
+// an already recorded key is a no-op.
+func (j *Journal) Append(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[key]; ok {
+		return nil
+	}
+	if _, err := j.f.WriteString(key + "\n"); err != nil {
+		return fmt.Errorf("pipeline: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("pipeline: journal: %w", err)
+	}
+	j.done[key] = struct{}{}
+	return nil
+}
+
+// Close flushes and closes the journal file. The Journal must not be used
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

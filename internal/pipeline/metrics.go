@@ -29,6 +29,13 @@ type Metrics struct {
 	AnalyzeNS atomic.Int64 // wall time in the analyze stage (fitting)
 
 	DiskStoreErrors atomic.Int64 // best-effort cache writes that failed
+
+	Retries       atomic.Int64 // extra stage executions after transient failures
+	Panics        atomic.Int64 // worker panics contained by the recovery boundary
+	Cancelled     atomic.Int64 // runs stopped by cancellation or a deadline
+	SpecFailures  atomic.Int64 // specs that produced no artifact
+	Resumed       atomic.Int64 // journaled specs recognized as already complete
+	JournalErrors atomic.Int64 // best-effort journal appends that failed
 }
 
 // Summary renders the counters as a report table: the pipeline's per-run
@@ -50,8 +57,29 @@ func (m *Metrics) Summary() *report.Table {
 	t.AddRow("acquire wall (ms)", ms(m.AcquireNS.Load()))
 	t.AddRow("replay wall (ms)", ms(m.ReplayNS.Load()))
 	t.AddRow("analyze wall (ms)", ms(m.AnalyzeNS.Load()))
+	// Resilience counters appear only when something went wrong (or was
+	// resumed), so the summary of a clean run is unchanged from older
+	// versions and byte-stable across cold and warm cache states.
 	if n := m.DiskStoreErrors.Load(); n > 0 {
 		t.AddRow("disk store errors", fmt.Sprintf("%d", n))
+	}
+	if n := m.Retries.Load(); n > 0 {
+		t.AddRow("retries", fmt.Sprintf("%d", n))
+	}
+	if n := m.Panics.Load(); n > 0 {
+		t.AddRow("worker panics", fmt.Sprintf("%d", n))
+	}
+	if n := m.Cancelled.Load(); n > 0 {
+		t.AddRow("cancelled runs", fmt.Sprintf("%d", n))
+	}
+	if n := m.SpecFailures.Load(); n > 0 {
+		t.AddRow("failed specs", fmt.Sprintf("%d", n))
+	}
+	if n := m.Resumed.Load(); n > 0 {
+		t.AddRow("resumed specs", fmt.Sprintf("%d", n))
+	}
+	if n := m.JournalErrors.Load(); n > 0 {
+		t.AddRow("journal errors", fmt.Sprintf("%d", n))
 	}
 	return t
 }

@@ -13,15 +13,26 @@
 // backs its in-memory artifact cache with an optional content-addressed
 // on-disk cache, so repeated invocations skip simulation entirely.
 //
+// On top of the stages sits a resilience layer (see internal/resilience):
+// every run is cooperatively cancellable through a context threaded into
+// the simulator's cycle loop, bounded by an optional per-spec deadline,
+// isolated from worker panics (a crash costs one spec, reported as a
+// typed *SpecError, never the sweep), and retried with exponential
+// backoff when the failure is classified transient. A write-ahead journal
+// records each completed spec's cache key so an interrupted sweep resumes
+// without repeating finished work.
+//
 // Every run owns its simulator, machine, RNG streams, and log; parallel
 // execution is therefore bit-for-bit identical to sequential execution (a
 // property the experiments test suite enforces).
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +42,7 @@ import (
 	"commchar/internal/fault"
 	"commchar/internal/mesh"
 	"commchar/internal/mp"
+	"commchar/internal/resilience"
 	"commchar/internal/sp2"
 	"commchar/internal/spasm"
 	"commchar/internal/trace"
@@ -88,23 +100,41 @@ type Options struct {
 	// Metrics, when non-nil, receives this engine's counters (so several
 	// engines can share one summary). Nil allocates a fresh set.
 	Metrics *Metrics
+	// OnError is the sweep failure policy of RunAll; the zero value is
+	// OnErrorContinue (one lost spec does not cancel its siblings).
+	OnError OnError
+	// Retry is the transient-failure retry schedule; the zero value
+	// means resilience.DefaultPolicy(). Use Policy{MaxAttempts: 1} to
+	// disable retries.
+	Retry resilience.Policy
+	// SpecTimeout is the per-run deadline applied to every spec that
+	// does not set its own; 0 means unlimited.
+	SpecTimeout time.Duration
+	// Journal, when non-nil, receives each completed spec's cache key
+	// (see OpenJournal); resumed keys served from the disk cache count
+	// as resumed work in the metrics.
+	Journal *Journal
 }
 
 // Engine runs specs through the stages with caching, deduplication, and a
 // bounded worker pool. It is safe for concurrent use.
 type Engine struct {
-	parallel int
-	salt     string
-	disk     *diskCache
-	metrics  *Metrics
-	sem      chan struct{}
+	parallel    int
+	salt        string
+	disk        *diskCache
+	metrics     *Metrics
+	sem         chan struct{}
+	onError     OnError
+	retry       resilience.Policy
+	specTimeout time.Duration
+	journal     *Journal
 
 	mu       sync.Mutex
 	mem      map[string]*Artifact
 	inflight map[string]*call
 
 	// runStages is the acquisition seam; tests substitute synthetic runs.
-	runStages func(RunSpec) (*stageResult, error)
+	runStages func(ctx context.Context, spec RunSpec) (*stageResult, error)
 }
 
 type call struct {
@@ -113,9 +143,9 @@ type call struct {
 	err  error
 }
 
-// New builds an engine. It fails only if the cache directory cannot be
-// created.
-func New(opts Options) (*Engine, error) {
+// newEngine builds the in-memory engine core. It cannot fail: every
+// fallible attachment (the disk cache) happens in New.
+func newEngine(opts Options) *Engine {
 	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -128,15 +158,30 @@ func New(opts Options) (*Engine, error) {
 	if metrics == nil {
 		metrics = &Metrics{}
 	}
+	retry := opts.Retry
+	if retry == (resilience.Policy{}) {
+		retry = resilience.DefaultPolicy()
+	}
 	e := &Engine{
-		parallel: parallel,
-		salt:     salt,
-		metrics:  metrics,
-		sem:      make(chan struct{}, parallel),
-		mem:      map[string]*Artifact{},
-		inflight: map[string]*call{},
+		parallel:    parallel,
+		salt:        salt,
+		metrics:     metrics,
+		sem:         make(chan struct{}, parallel),
+		onError:     opts.OnError,
+		retry:       retry,
+		specTimeout: opts.SpecTimeout,
+		journal:     opts.Journal,
+		mem:         map[string]*Artifact{},
+		inflight:    map[string]*call{},
 	}
 	e.runStages = e.acquire
+	return e
+}
+
+// New builds an engine. It fails only if the cache directory cannot be
+// created.
+func New(opts Options) (*Engine, error) {
+	e := newEngine(opts)
 	if opts.CacheDir != "" {
 		d, err := newDiskCache(opts.CacheDir)
 		if err != nil {
@@ -148,26 +193,47 @@ func New(opts Options) (*Engine, error) {
 }
 
 // NewDefault builds an engine with default options (GOMAXPROCS workers, no
-// disk cache). It cannot fail.
-func NewDefault() *Engine {
-	e, err := New(Options{})
-	if err != nil {
-		panic(err) // unreachable: no cache dir to create
-	}
-	return e
-}
+// disk cache, no journal). It cannot fail: the only fallible option is the
+// cache directory, which the defaults do not use.
+func NewDefault() *Engine { return newEngine(Options{}) }
 
 // Metrics returns the engine's counters.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// Journal returns the engine's sweep journal, or nil.
+func (e *Engine) Journal() *Journal { return e.journal }
+
+// Close releases the engine's journal, flushing its final record. An
+// engine without a journal needs no Close; calling it is then a no-op.
+func (e *Engine) Close() error {
+	if e.journal != nil {
+		return e.journal.Close()
+	}
+	return nil
+}
+
 // Run characterizes one spec, serving it from cache when possible and
 // joining an identical in-flight run instead of duplicating it.
 func (e *Engine) Run(spec RunSpec) (*Artifact, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under cooperative cancellation: the context is
+// threaded through the acquire, log, and analyze stages down into the
+// simulator's cycle loop, so a hung or livelocked run is killable, and a
+// per-spec deadline (spec.Timeout, or the engine's SpecTimeout) bounds
+// the run. A failure — panic, deadline, cancellation, or a simulation
+// error that survived the retry policy — is reported as a *SpecError.
+func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (*Artifact, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	key, err := spec.Key(e.salt)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		e.metrics.Cancelled.Add(1)
 		return nil, err
 	}
 
@@ -180,31 +246,59 @@ func (e *Engine) Run(spec RunSpec) (*Artifact, error) {
 	if c := e.inflight[key]; c != nil {
 		e.mu.Unlock()
 		e.metrics.DedupHits.Add(1)
-		<-c.done
-		return c.art, c.err
+		select {
+		case <-c.done:
+			return c.art, c.err
+		case <-ctx.Done():
+			e.metrics.Cancelled.Add(1)
+			return nil, ctx.Err()
+		}
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.mu.Unlock()
 
-	art, err := e.execute(spec, key)
+	art, runErr := e.execute(ctx, spec, key)
 
 	e.mu.Lock()
 	delete(e.inflight, key)
-	if err == nil {
+	if runErr == nil {
 		e.mem[key] = art
 	}
 	e.mu.Unlock()
 
-	c.art, c.err = art, err
+	if runErr == nil && e.journal != nil {
+		// The journal append is write-ahead with respect to the *next*
+		// crash, not this run: the artifact is already on disk, so a
+		// failed append only costs a re-check on resume.
+		if jerr := e.journal.Append(key); jerr != nil {
+			e.metrics.JournalErrors.Add(1)
+		}
+	}
+
+	c.art, c.err = art, runErr
 	close(c.done)
-	return art, err
+	return art, runErr
 }
 
 // RunAll characterizes every spec concurrently (bounded by the worker
 // pool) and returns the artifacts in spec order. Errors are joined; the
 // artifact slot of a failed spec is nil.
 func (e *Engine) RunAll(specs ...RunSpec) ([]*Artifact, error) {
+	return e.RunAllContext(context.Background(), specs...)
+}
+
+// RunAllContext is RunAll under the engine's failure policy. With
+// OnErrorContinue (the default) every spec runs to completion regardless
+// of sibling failures; if some specs succeeded and some failed, the
+// joined failures are wrapped in a *DegradedError so callers (and exit
+// codes) can tell a degraded sweep from a clean one. With OnErrorFail the
+// first failure cancels the remaining specs; the siblings' collateral
+// cancellations are dropped from the report.
+func (e *Engine) RunAllContext(ctx context.Context, specs ...RunSpec) ([]*Artifact, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	arts := make([]*Artifact, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -212,32 +306,141 @@ func (e *Engine) RunAll(specs ...RunSpec) ([]*Artifact, error) {
 		wg.Add(1)
 		go func(i int, spec RunSpec) {
 			defer wg.Done()
-			art, err := e.Run(spec)
+			art, err := e.RunContext(runCtx, spec)
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", spec.label(), err)
+				var se *SpecError
+				if errors.As(err, &se) {
+					errs[i] = err // already labelled with the spec
+				} else {
+					errs[i] = fmt.Errorf("%s: %w", spec.label(), err)
+				}
+				if e.onError == OnErrorFail {
+					cancel()
+				}
 				return
 			}
 			arts[i] = art
 		}(i, spec)
 	}
 	wg.Wait()
-	return arts, errors.Join(errs...)
+
+	externallyCancelled := ctx.Err() != nil
+	failed := 0
+	var kept []error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		// Under fail-fast, siblings killed by our own cancel are
+		// collateral, not findings; keep them only when the caller's
+		// context itself was cancelled.
+		if e.onError == OnErrorFail && !externallyCancelled && errors.Is(err, context.Canceled) {
+			continue
+		}
+		kept = append(kept, err)
+	}
+	if failed == 0 {
+		return arts, nil
+	}
+	joined := errors.Join(kept...)
+	if joined == nil {
+		joined = errors.Join(errs...)
+	}
+	if e.onError == OnErrorContinue && failed < len(specs) {
+		return arts, &DegradedError{Failed: failed, Total: len(specs), Err: joined}
+	}
+	return arts, joined
 }
 
-// execute produces the artifact for a spec the caches cannot serve.
-func (e *Engine) execute(spec RunSpec, key string) (*Artifact, error) {
+// jitterSeed derives the deterministic retry-jitter seed from the spec's
+// cache key, so concurrent retriers decorrelate while any one spec's
+// backoff schedule reproduces exactly.
+func jitterSeed(key string) uint64 {
+	if len(key) < 16 {
+		return 0
+	}
+	s, err := strconv.ParseUint(key[:16], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return s
+}
+
+// execute produces the artifact for a spec the caches cannot serve,
+// applying the resilience layer: worker-slot acquisition and the stages
+// are cancellable, the run is bounded by the per-spec deadline, panics
+// are contained, and transient failures retry with backoff.
+func (e *Engine) execute(ctx context.Context, spec RunSpec, key string) (*Artifact, error) {
 	if e.disk != nil {
 		if art, ok := e.disk.load(key, spec); ok {
 			e.metrics.DiskHits.Add(1)
+			if e.journal != nil && e.journal.Done(key) {
+				e.metrics.Resumed.Add(1)
+			}
 			return art, nil
 		}
 	}
 
-	e.sem <- struct{}{}
-	res, err := e.runStages(spec)
-	<-e.sem
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.metrics.Cancelled.Add(1)
+		e.metrics.SpecFailures.Add(1)
+		return nil, &SpecError{Spec: spec, Key: key, Err: ctx.Err()}
+	}
+	defer func() { <-e.sem }()
+
+	runCtx := ctx
+	timeout := spec.Timeout
+	if timeout <= 0 {
+		timeout = e.specTimeout
+	}
+	if timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		runCtx, cancelTimeout = context.WithTimeout(ctx, timeout)
+		defer cancelTimeout()
+	}
+
+	var art *Artifact
+	attempts, err := e.retry.Do(runCtx, jitterSeed(key), func() error {
+		return resilience.Protect(func() error {
+			a, rerr := e.runOnce(runCtx, spec, key)
+			if rerr != nil {
+				return rerr
+			}
+			art = a
+			return nil
+		})
+	})
+	if attempts > 1 {
+		e.metrics.Retries.Add(int64(attempts - 1))
+	}
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: %s: %w", spec.label(), err)
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			e.metrics.Panics.Add(1)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.metrics.Cancelled.Add(1)
+		}
+		e.metrics.SpecFailures.Add(1)
+		return nil, &SpecError{Spec: spec, Key: key, Attempts: attempts, Err: err}
+	}
+
+	if e.disk != nil {
+		if err := e.disk.store(key, art); err != nil {
+			e.metrics.DiskStoreErrors.Add(1)
+		}
+	}
+	return art, nil
+}
+
+// runOnce executes the stages and the analysis exactly once.
+func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key string) (*Artifact, error) {
+	res, err := e.runStages(ctx, spec)
+	if err != nil {
+		return nil, err
 	}
 
 	strategy := core.StrategyStatic
@@ -248,7 +451,7 @@ func (e *Engine) execute(spec RunSpec, key string) (*Artifact, error) {
 	c, err := res.raw.Characterize(spec.label(), strategy)
 	e.metrics.AnalyzeNS.Add(int64(time.Since(start)))
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: %s: %w", spec.label(), err)
+		return nil, err
 	}
 
 	e.metrics.Runs.Add(1)
@@ -270,7 +473,7 @@ func (e *Engine) execute(spec RunSpec, key string) (*Artifact, error) {
 	for _, err := range res.raw.Failures {
 		failures = append(failures, err.Error())
 	}
-	art := &Artifact{
+	return &Artifact{
 		Spec:          spec,
 		Key:           key,
 		C:             c,
@@ -279,13 +482,7 @@ func (e *Engine) execute(spec RunSpec, key string) (*Artifact, error) {
 		Failures:      failures,
 		FaultCounters: res.faultCounters,
 		Source:        SourceRun,
-	}
-	if e.disk != nil {
-		if err := e.disk.store(key, art); err != nil {
-			e.metrics.DiskStoreErrors.Add(1)
-		}
-	}
-	return art, nil
+	}, nil
 }
 
 // meshConfig builds the run's mesh configuration from the spec overrides.
@@ -315,23 +512,24 @@ func (e *Engine) faultSchedule(spec RunSpec) (*fault.Schedule, error) {
 
 // acquire is the real acquisition path: run the application (or replay the
 // given trace) and collect the raw network log.
-func (e *Engine) acquire(spec RunSpec) (*stageResult, error) {
+func (e *Engine) acquire(ctx context.Context, spec RunSpec) (*stageResult, error) {
 	if spec.Trace != nil {
-		return e.acquireReplay(spec)
+		return e.acquireReplay(ctx, spec)
 	}
 	wl, err := apps.ByName(spec.Scale, spec.App)
 	if err != nil {
 		return nil, err
 	}
 	if wl.Strategy == core.StrategyDynamic {
-		return e.acquireDynamic(spec)
+		return e.acquireDynamic(ctx, spec)
 	}
-	return e.acquireStatic(spec)
+	return e.acquireStatic(ctx, spec)
 }
 
 // acquireDynamic executes a shared-memory application on a machine built
-// from the spec (execution-driven strategy).
-func (e *Engine) acquireDynamic(spec RunSpec) (*stageResult, error) {
+// from the spec (execution-driven strategy). The context reaches the
+// machine's simulator, so the kernel is killable mid-execution.
+func (e *Engine) acquireDynamic(ctx context.Context, spec RunSpec) (*stageResult, error) {
 	cfg := spasm.DefaultConfig(spec.Procs)
 	cfg.Mesh = e.meshConfig(spec)
 	cfg.Barrier = spec.Barrier
@@ -348,7 +546,7 @@ func (e *Engine) acquireDynamic(spec RunSpec) (*stageResult, error) {
 		m.Net.SetFaults(sched)
 	}
 	start := time.Now()
-	raw, err := core.AcquireSharedMemoryOn(m, func(m *spasm.Machine) error {
+	raw, err := core.AcquireSharedMemoryOnContext(ctx, m, func(m *spasm.Machine) error {
 		return apps.RunSharedMemoryOn(m, spec.Scale, spec.App)
 	})
 	e.metrics.AcquireNS.Add(int64(time.Since(start)))
@@ -366,8 +564,10 @@ func (e *Engine) acquireDynamic(spec RunSpec) (*stageResult, error) {
 
 // acquireStatic executes a message-passing application natively to record
 // its trace, then replays the trace through the mesh (trace-driven
-// strategy).
-func (e *Engine) acquireStatic(spec RunSpec) (*stageResult, error) {
+// strategy). The native execution is not cancellable (it is direct Go
+// code, not a simulation); the replay — where the simulated time goes —
+// is.
+func (e *Engine) acquireStatic(ctx context.Context, spec RunSpec) (*stageResult, error) {
 	start := time.Now()
 	tr, err := core.AcquireMessagePassing(spec.Procs, func(w *mp.World) error {
 		return apps.RunMessagePassingOn(w, spec.Scale, spec.App, spec.Procs)
@@ -376,22 +576,22 @@ func (e *Engine) acquireStatic(spec RunSpec) (*stageResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.replay(spec, tr, sp2.Default())
+	return e.replay(ctx, spec, tr, sp2.Default())
 }
 
 // acquireReplay is the acquisition path of an externally supplied trace
 // (meshsim): the acquire stage is the trace itself; only the log stage
 // runs.
-func (e *Engine) acquireReplay(spec RunSpec) (*stageResult, error) {
+func (e *Engine) acquireReplay(ctx context.Context, spec RunSpec) (*stageResult, error) {
 	var cost trace.CostModel
 	if spec.UseSP2 {
 		cost = sp2.Default()
 	}
-	return e.replay(spec, spec.Trace, cost)
+	return e.replay(ctx, spec, spec.Trace, cost)
 }
 
 // replay is the shared log stage: drive the trace through the mesh.
-func (e *Engine) replay(spec RunSpec, tr *trace.Trace, cost trace.CostModel) (*stageResult, error) {
+func (e *Engine) replay(ctx context.Context, spec RunSpec, tr *trace.Trace, cost trace.CostModel) (*stageResult, error) {
 	sched, err := e.faultSchedule(spec)
 	if err != nil {
 		return nil, err
@@ -401,7 +601,7 @@ func (e *Engine) replay(spec RunSpec, tr *trace.Trace, cost trace.CostModel) (*s
 		inj = sched
 	}
 	start := time.Now()
-	raw, err := core.ReplayTrace(tr, e.meshConfig(spec), cost, inj, spec.Watchdog)
+	raw, err := core.ReplayTraceContext(ctx, tr, e.meshConfig(spec), cost, inj, spec.Watchdog)
 	e.metrics.ReplayNS.Add(int64(time.Since(start)))
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -57,7 +58,7 @@ func stubEngine(t *testing.T, opts Options) (*Engine, *int) {
 	}
 	calls := 0
 	var mu sync.Mutex
-	e.runStages = func(spec RunSpec) (*stageResult, error) {
+	e.runStages = func(ctx context.Context, spec RunSpec) (*stageResult, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -180,7 +181,7 @@ func TestConcurrentIdenticalSpecsDeduplicate(t *testing.T) {
 	release := make(chan struct{})
 	calls := 0
 	var mu sync.Mutex
-	e.runStages = func(spec RunSpec) (*stageResult, error) {
+	e.runStages = func(ctx context.Context, spec RunSpec) (*stageResult, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()

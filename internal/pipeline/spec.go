@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"time"
 
 	"commchar/internal/apps"
 	"commchar/internal/ccnuma"
@@ -61,6 +62,12 @@ type RunSpec struct {
 	// cache key: a tripped watchdog fails the run, and failed runs are
 	// never cached.
 	Watchdog sim.Watchdog
+
+	// Timeout bounds the run's wall time, overriding the engine's
+	// SpecTimeout; 0 defers to the engine. Like Watchdog it is not part
+	// of the cache key: a timed-out run fails, and failed runs are never
+	// cached.
+	Timeout time.Duration
 }
 
 // label returns the run's display name.

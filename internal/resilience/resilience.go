@@ -1,0 +1,129 @@
+// Package resilience is the failure-semantics layer under the run
+// pipeline: a panic-recovery boundary, a retryable-error taxonomy, and a
+// deterministic retry policy with exponential backoff and jitter.
+//
+// The taxonomy splits failures into two classes. Transient failures —
+// disk-cache I/O errors, truncated trace reads that salvaged a prefix,
+// watchdog budget trips on a fault-livelocked run — are worth retrying.
+// Permanent failures — structural deadlocks, panics, validation errors,
+// cancellation — are not: the same inputs will fail the same way, or the
+// caller asked us to stop.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"commchar/internal/sim"
+	"commchar/internal/trace"
+)
+
+// PanicError is a panic converted into an error at a recovery boundary. It
+// keeps the panic value and the stack of the panicking goroutine so the
+// failure stays diagnosable after recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal error: panic: %v", e.Value)
+}
+
+// Protect runs fn, converting a panic into a *PanicError. It is the
+// recovery boundary the tools and the run pipeline wrap around sub-steps
+// so one failing step cannot take down the whole process.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Class partitions failures by whether a retry can plausibly succeed.
+type Class int
+
+const (
+	// Permanent failures reproduce deterministically (or must not be
+	// retried at all, like cancellation); retrying wastes work.
+	Permanent Class = iota
+	// Transient failures come from the environment — filesystem flake,
+	// a truncated read, a tripped progress budget — and may clear.
+	Transient
+)
+
+func (c Class) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// transientMark wraps an error explicitly classified as transient.
+type transientMark struct{ err error }
+
+func (t *transientMark) Error() string { return t.err.Error() }
+func (t *transientMark) Unwrap() error { return t.err }
+
+// MarkTransient explicitly classifies err as transient; Classify honours
+// the mark through any amount of wrapping. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientMark{err: err}
+}
+
+// Classify places an error in the retry taxonomy:
+//
+//   - cancellation and deadline expiry are Permanent (the caller asked us
+//     to stop; retrying would fight the context);
+//   - panics are Permanent (a bug reproduces deterministically);
+//   - errors wrapped by MarkTransient are Transient;
+//   - filesystem errors (*os.PathError, *os.LinkError, *os.SyscallError)
+//     are Transient — the disk-cache I/O flake taxonomy;
+//   - a *trace.TruncatedError is Transient: the writer may still be
+//     flushing, or the next read of the entry may be whole;
+//   - a *sim.DeadlockError is Transient only when a watchdog budget
+//     tripped (a livelocked run may clear under a raised budget or a
+//     different schedule); a structural deadlock is Permanent.
+//
+// Everything else is Permanent.
+func Classify(err error) Class {
+	if err == nil {
+		return Permanent
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Permanent
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return Permanent
+	}
+	var tm *transientMark
+	if errors.As(err, &tm) {
+		return Transient
+	}
+	var (
+		pathErr *os.PathError
+		linkErr *os.LinkError
+		sysErr  *os.SyscallError
+	)
+	if errors.As(err, &pathErr) || errors.As(err, &linkErr) || errors.As(err, &sysErr) {
+		return Transient
+	}
+	var te *trace.TruncatedError
+	if errors.As(err, &te) {
+		return Transient
+	}
+	var de *sim.DeadlockError
+	if errors.As(err, &de) && de.BudgetExceeded() {
+		return Transient
+	}
+	return Permanent
+}

@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"commchar/internal/sim"
+	"commchar/internal/trace"
+)
+
+func TestProtectConvertsPanics(t *testing.T) {
+	err := Protect(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("clean fn returned %v", err)
+	}
+	sentinel := errors.New("plain")
+	if err := Protect(func() error { return sentinel }); err != sentinel {
+		t.Fatalf("plain error not passed through: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	budgetTrip := &sim.DeadlockError{Reason: "watchdog: event budget exceeded"}
+	deadlock := &sim.DeadlockError{Reason: "deadlock: no runnable process"}
+	cancelled := &sim.DeadlockError{Reason: "cancelled: context canceled", Cause: context.Canceled}
+	table := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, Permanent},
+		{"plain", errors.New("x"), Permanent},
+		{"canceled", context.Canceled, Permanent},
+		{"deadline", context.DeadlineExceeded, Permanent},
+		{"wrapped-canceled", fmt.Errorf("run: %w", context.Canceled), Permanent},
+		{"panic", Protect(func() error { panic("x") }), Permanent},
+		{"marked", MarkTransient(errors.New("flaky")), Transient},
+		{"wrapped-marked", fmt.Errorf("outer: %w", MarkTransient(errors.New("flaky"))), Transient},
+		{"path-error", &os.PathError{Op: "open", Path: "x", Err: errors.New("io")}, Transient},
+		{"truncated", &trace.TruncatedError{Line: 3}, Transient},
+		{"watchdog-budget", budgetTrip, Transient},
+		{"structural-deadlock", deadlock, Permanent},
+		{"cancelled-deadlock", cancelled, Permanent},
+	}
+	for _, tc := range table {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := DefaultPolicy()
+	for n := 0; n < 6; n++ {
+		a := p.Backoff(n, 42)
+		b := p.Backoff(n, 42)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", n, a, b)
+		}
+		if a < 0 || a >= p.MaxDelay {
+			t.Fatalf("attempt %d: backoff %v outside [0, %v)", n, a, p.MaxDelay)
+		}
+	}
+	// Different seeds decorrelate, at least somewhere in the schedule.
+	same := true
+	for n := 0; n < 6; n++ {
+		if p.Backoff(n, 1) != p.Backoff(n, 2) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("jitter ignores the seed")
+	}
+	// The schedule grows until the cap.
+	if p.Backoff(0, 7) >= p.MaxDelay {
+		t.Fatal("first backoff already at cap")
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Multiplier: 2}
+
+	calls := 0
+	attempts, err := p.Do(context.Background(), 1, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || attempts != 3 {
+		t.Fatalf("transient recovery: err=%v calls=%d attempts=%d", err, calls, attempts)
+	}
+
+	calls = 0
+	perm := errors.New("broken")
+	attempts, err = p.Do(context.Background(), 1, func() error { calls++; return perm })
+	if !errors.Is(err, perm) || calls != 1 || attempts != 1 {
+		t.Fatalf("permanent failure retried: err=%v calls=%d attempts=%d", err, calls, attempts)
+	}
+
+	calls = 0
+	attempts, err = p.Do(context.Background(), 1, func() error {
+		calls++
+		return MarkTransient(errors.New("always flaky"))
+	})
+	if err == nil || calls != 4 || attempts != 4 {
+		t.Fatalf("exhaustion: err=%v calls=%d attempts=%d", err, calls, attempts)
+	}
+}
+
+func TestDoStopsOnCancelledContext(t *testing.T) {
+	p := Policy{MaxAttempts: 1000, BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = p.Do(ctx, 1, func() error {
+			calls++
+			return MarkTransient(errors.New("flaky"))
+		})
+	}()
+	// The first failure puts Do into its hour-long backoff sleep; cancelling
+	// must cut it short immediately.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times after cancellation", calls)
+	}
+
+	// A context cancelled before the first attempt never runs fn.
+	calls = 0
+	attempts, err := p.Do(ctx, 1, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 || attempts != 0 {
+		t.Fatalf("pre-cancelled: err=%v calls=%d attempts=%d", err, calls, attempts)
+	}
+}
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	var p Policy
+	calls := 0
+	attempts, err := p.Do(context.Background(), 1, func() error {
+		calls++
+		return MarkTransient(errors.New("flaky"))
+	})
+	if calls != 1 || attempts != 1 || err == nil {
+		t.Fatalf("zero policy: calls=%d attempts=%d err=%v", calls, attempts, err)
+	}
+}

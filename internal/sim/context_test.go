@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// livelock installs a self-perpetuating event chain, so the calendar never
+// drains and only cancellation (or a watchdog) can stop the run.
+func livelock(s *Simulator) {
+	var tick func()
+	tick = func() { s.Schedule(1, tick) }
+	s.Schedule(0, tick)
+}
+
+func TestRunStopsOnCancelledContext(t *testing.T) {
+	s := New()
+	livelock(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	s.Run() // must return instead of spinning forever
+	if err := s.Interrupted(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Interrupted = %v, want context.Canceled", err)
+	}
+	if s.EventsFired() > 512 {
+		t.Fatalf("cancellation took %d events to notice", s.EventsFired())
+	}
+}
+
+func TestInterruptedNilOnCleanRun(t *testing.T) {
+	s := New()
+	s.SetContext(context.Background())
+	s.Spawn("worker", func(p *Process) { p.Hold(10) })
+	s.Run()
+	if err := s.Interrupted(); err != nil {
+		t.Fatalf("clean run reports %v", err)
+	}
+}
+
+func TestRunCheckedContextCancellation(t *testing.T) {
+	s := New()
+	livelock(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.RunCheckedContext(ctx)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DeadlockError, got %v", err)
+	}
+	// The cancellation keeps the simulator diagnostics AND unwraps to the
+	// context error, so callers can errors.Is their way to exit codes.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run does not unwrap to context.Canceled: %v", err)
+	}
+	if !strings.Contains(de.Reason, "cancelled") {
+		t.Fatalf("reason = %q", de.Reason)
+	}
+	if de.BudgetExceeded() {
+		t.Fatal("cancellation misclassified as a watchdog budget trip")
+	}
+}
+
+func TestDeadlockErrorBudgetClassification(t *testing.T) {
+	s := New()
+	livelock(s)
+	s.SetWatchdog(Watchdog{MaxEvents: 500})
+	err := s.RunChecked()
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DeadlockError, got %v", err)
+	}
+	if !de.BudgetExceeded() {
+		t.Fatalf("event-budget trip not classified as budget: %+v", de)
+	}
+
+	// A structural deadlock is not a budget trip.
+	s2 := New()
+	a := NewFacility(s2, "A")
+	b := NewFacility(s2, "B")
+	s2.Spawn("p1", func(p *Process) { a.Reserve(p); p.Hold(10); b.Reserve(p) })
+	s2.Spawn("p2", func(p *Process) { b.Reserve(p); p.Hold(10); a.Reserve(p) })
+	err = s2.RunChecked()
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DeadlockError, got %v", err)
+	}
+	if de.BudgetExceeded() {
+		t.Fatal("structural deadlock misclassified as a budget trip")
+	}
+}

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -92,6 +93,10 @@ type Simulator struct {
 	fired       int64 // events fired since construction
 	watchdog    Watchdog
 	diagnostics []diagnosticSource
+
+	// ctx, when set, makes the run loops cooperatively cancellable: Run and
+	// RunChecked poll it periodically and stop early once it is done.
+	ctx context.Context
 }
 
 type diagnosticSource struct {
@@ -112,6 +117,24 @@ func (s *Simulator) AddDiagnostic(name string, fn func() string) {
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// SetContext installs the cancellation context polled by the run loops. A
+// cancelled context stops Run (check Interrupted afterwards) and makes
+// RunChecked return a diagnostic error wrapping the context's error.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Interrupted reports whether the installed context has been cancelled,
+// wrapping the context's error with the simulation state at the stop. It
+// returns nil when no context is installed or the context is still live.
+func (s *Simulator) Interrupted() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("sim: interrupted at t=%d after %d events: %w", s.now, s.fired, err)
+	}
+	return nil
 }
 
 // Now returns the current simulated time.
@@ -158,14 +181,32 @@ func (s *Simulator) Step() bool {
 	return false
 }
 
-// Run fires events until the calendar is empty.
+// Run fires events until the calendar is empty — or, when a context is
+// installed, until it is cancelled (poll Interrupted to distinguish the
+// two; cancellation leaves the remaining calendar untouched).
 func (s *Simulator) Run() {
 	if s.running {
 		panic("sim: Run re-entered")
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.Step() {
+	var done <-chan struct{}
+	if s.ctx != nil {
+		done = s.ctx.Done()
+	}
+	for i := 0; ; i++ {
+		// Cancellation checks are amortized across the cycle loop; one
+		// channel poll per 256 events is noise next to the event work.
+		if done != nil && i&255 == 0 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		if !s.Step() {
+			return
+		}
 	}
 }
 

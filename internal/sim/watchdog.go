@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -47,6 +48,23 @@ type DeadlockError struct {
 	Blocked     []BlockedProcess
 	Cycle       []string // process names forming a wait-for cycle, if found
 	Diagnostics []string // named dumps from AddDiagnostic sources
+
+	// Cause, when non-nil, is the underlying trigger — a cancelled
+	// context's error for a run stopped by RunCheckedContext — surfaced
+	// through Unwrap so errors.Is(err, context.Canceled) works.
+	Cause error
+}
+
+// Unwrap exposes the underlying trigger (context cancellation) to the
+// errors package; it returns nil for watchdog and structural stops.
+func (e *DeadlockError) Unwrap() error { return e.Cause }
+
+// BudgetExceeded reports whether a watchdog progress budget tripped, as
+// opposed to a structural deadlock or a cancellation. Budget trips are
+// the retryable kind: a livelocked run may clear under a different
+// schedule or a raised budget, whereas a structural deadlock reproduces.
+func (e *DeadlockError) BudgetExceeded() bool {
+	return e.Cause == nil && !strings.HasPrefix(e.Reason, "deadlock")
 }
 
 func (e *DeadlockError) Error() string {
@@ -172,11 +190,36 @@ func (s *Simulator) stallError(reason string) *DeadlockError {
 // is exceeded, it stops and returns a *DeadlockError describing who waits
 // on what instead of hanging or finishing silently.
 func (s *Simulator) RunChecked() error {
+	return s.RunCheckedContext(context.Background())
+}
+
+// RunCheckedContext is RunChecked under cooperative cancellation: the
+// cycle loop polls ctx periodically and, once it is cancelled, stops and
+// returns a *DeadlockError carrying the usual blocked-process and
+// wait-for diagnostics with the context's error as its Cause (so
+// errors.Is(err, context.Canceled) holds). A context installed via
+// SetContext is honoured as well.
+func (s *Simulator) RunCheckedContext(ctx context.Context) error {
 	if s.running {
 		panic("sim: Run re-entered")
 	}
 	s.running = true
 	defer func() { s.running = false }()
+
+	done := ctx.Done()
+	var installed <-chan struct{}
+	if s.ctx != nil {
+		installed = s.ctx.Done()
+	}
+	cancelError := func() error {
+		err := ctx.Err()
+		if err == nil && s.ctx != nil {
+			err = s.ctx.Err()
+		}
+		e := s.stallError(fmt.Sprintf("cancelled: %v", err))
+		e.Cause = err
+		return e
+	}
 
 	wd := s.watchdog
 	var deadline time.Time
@@ -191,9 +234,24 @@ func (s *Simulator) RunChecked() error {
 		if wd.MaxSimTime > 0 && s.now > wd.MaxSimTime {
 			return s.stallError(fmt.Sprintf("simulated-time horizon %d exceeded", wd.MaxSimTime))
 		}
-		// Wall-clock checks are amortized: time.Now is cheap but not free.
+		// Wall-clock and cancellation checks are amortized: time.Now and
+		// channel polls are cheap but not free.
 		if wd.MaxWall > 0 && i%1024 == 0 && time.Now().After(deadline) {
 			return s.stallError(fmt.Sprintf("wall-clock budget %v exceeded", wd.MaxWall))
+		}
+		if i&255 == 0 {
+			select {
+			case <-done:
+				return cancelError()
+			default:
+			}
+			if installed != nil {
+				select {
+				case <-installed:
+					return cancelError()
+				default:
+				}
+			}
 		}
 		if !s.Step() {
 			break

@@ -147,6 +147,11 @@ func (m *Machine) Run(kernel func(e *Env)) (sim.Time, error) {
 		})
 	}
 	m.Sim.Run()
+	// A cancelled run stops mid-flight with processors legitimately
+	// suspended; report the interruption, not a phantom deadlock.
+	if err := m.Sim.Interrupted(); err != nil {
+		return 0, fmt.Errorf("spasm: %w", err)
+	}
 	for _, e := range m.envs {
 		if !e.done {
 			return 0, fmt.Errorf("spasm: processor %d blocked at t=%d (deadlock)", e.id, m.Sim.Now())
