@@ -93,8 +93,21 @@ func (c *Characterization) SplitPhases(gapFactor float64, minMessages int) ([]Ph
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("core: no phase had %d+ messages", minMessages)
 	}
-	sort.SliceStable(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
+	sortPhases(phases)
 	return phases, nil
+}
+
+// sortPhases orders phases under a total order — Start, then the unique
+// segment Index — so two phases that begin on the same simulated cycle
+// cannot permute when the slice arrives in a different order (the
+// repolint determinism analyzer flags the tie-less form this replaces).
+func sortPhases(phases []Phase) {
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].Start != phases[j].Start {
+			return phases[i].Start < phases[j].Start
+		}
+		return phases[i].Index < phases[j].Index
+	})
 }
 
 // Burst is one raw traffic segment (no minimum-size filter): the

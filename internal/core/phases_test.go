@@ -137,3 +137,25 @@ func TestSplitPhasesTinyLog(t *testing.T) {
 		t.Fatal("single message split accepted")
 	}
 }
+
+// TestSortPhasesBreaksStartTies pins the total order behind phase
+// output: phases sharing a Start cycle must come out in segment-Index
+// order no matter how the input slice was permuted. The repolint
+// determinism analyzer found the previous comparator ordering by Start
+// alone, which let equal-Start phases permute between runs.
+func TestSortPhasesBreaksStartTies(t *testing.T) {
+	perms := [][]Phase{
+		{{Index: 2, Start: 100}, {Index: 0, Start: 100}, {Index: 3, Start: 50}, {Index: 1, Start: 100}},
+		{{Index: 3, Start: 50}, {Index: 1, Start: 100}, {Index: 2, Start: 100}, {Index: 0, Start: 100}},
+		{{Index: 0, Start: 100}, {Index: 3, Start: 50}, {Index: 2, Start: 100}, {Index: 1, Start: 100}},
+	}
+	want := []int{3, 0, 1, 2}
+	for p, phases := range perms {
+		sortPhases(phases)
+		for i, ph := range phases {
+			if ph.Index != want[i] {
+				t.Fatalf("perm %d: position %d has Index %d, want %d", p, i, ph.Index, want[i])
+			}
+		}
+	}
+}

@@ -41,6 +41,7 @@ func (r *RawRun) Characterize(name string, strategy Strategy) (*Characterization
 // AcquireSharedMemoryOn is the dynamic-strategy acquisition stage on a
 // caller-built machine: execute the kernel and collect the network log.
 func AcquireSharedMemoryOn(m *spasm.Machine, run func(m *spasm.Machine) error) (*RawRun, error) {
+	//lint:allow ctxflow context-free compatibility wrapper over AcquireSharedMemoryOnContext
 	return AcquireSharedMemoryOnContext(context.Background(), m, run)
 }
 
@@ -85,6 +86,7 @@ func AcquireMessagePassing(procs int, run func(w *mp.World) error) (*trace.Trace
 // under an optional fault injector and watchdog, and collect the network
 // log. The trace's rank count is used as the processor count of the run.
 func ReplayTrace(tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog) (*RawRun, error) {
+	//lint:allow ctxflow context-free compatibility wrapper over ReplayTraceContext
 	return ReplayTraceContext(context.Background(), tr, cfg, cost, inj, wd)
 }
 

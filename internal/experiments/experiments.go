@@ -42,6 +42,7 @@ func NewRunner(scale apps.Scale) *Runner {
 // different scales may safely share one engine: the pipeline's cache key
 // covers the full spec, scale included.
 func NewRunnerWith(scale apps.Scale, eng *pipeline.Engine) *Runner {
+	//lint:allow ctxflow a fresh Runner starts uncancellable by design; WithContext rebinds it to the caller's ctx
 	return &Runner{Scale: scale, eng: eng, ctx: context.Background()}
 }
 
@@ -445,6 +446,7 @@ func (e *SweepError) Degraded() bool { return len(e.Failed) < e.Total }
 // sweep's results. It returns a *SweepError naming the failed steps, or
 // nil if everything passed.
 func RunSteps(w io.Writer, steps []Step) error {
+	//lint:allow ctxflow context-free compatibility wrapper over RunStepsContext
 	return RunStepsContext(context.Background(), w, steps, false)
 }
 

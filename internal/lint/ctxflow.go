@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxEntryPackages are the packages whose exported entry points sit on
+// the run-pipeline path: cancellation (SIGINT, -spec-timeout deadlines)
+// must be able to reach any replay loop or filesystem touch they start.
+var ctxEntryPackages = []string{
+	"internal/pipeline",
+	"internal/core",
+	"internal/sim",
+}
+
+// ioFuncs are the os entry points whose latency is unbounded from the
+// caller's point of view (filesystem and process control).
+var ioFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+}
+
+// CtxflowAnalyzer enforces the PR 3 cancellation contract:
+//
+//   - an exported function in the pipeline/core/sim entry packages that
+//     contains a condition-only loop (`for {` / `for cond {` — the
+//     replay-loop shape that runs until the simulation decides to stop)
+//     or calls filesystem I/O must accept a context.Context parameter,
+//     so a hung replay stays killable;
+//   - library packages must not mint fresh root contexts with
+//     context.Background()/context.TODO(): a fresh root silently
+//     detaches the callee from the caller's cancellation, which is how
+//     ctx plumbing rots. Deliberate context-free compatibility shims
+//     carry a //lint:allow ctxflow justification.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "checks that cancellation can reach every replay loop and that " +
+		"library code never detaches from the caller's context",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	if inScope(pass.Pkg.Path(), ctxEntryPackages...) {
+		for _, fn := range funcsIn(pass.Files) {
+			checkExportedTakesCtx(pass, fn)
+		}
+	}
+	if isInternal(pass.Pkg.Path()) && !inScope(pass.Pkg.Path(), "internal/cli") {
+		checkNoFreshRoots(pass)
+	}
+	return nil
+}
+
+// checkExportedTakesCtx flags exported entry points that loop or do I/O
+// without a context parameter.
+func checkExportedTakesCtx(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || !receiverExported(fn) {
+		return
+	}
+	if hasCtxParam(pass.TypesInfo, fn) {
+		return
+	}
+	if what := unboundedWork(pass.TypesInfo, fn.Body); what != "" {
+		pass.Reportf(fn.Name.Pos(), "exported %s contains %s but takes no context.Context; "+
+			"cancellation cannot reach it — add a ctx parameter (see Engine.RunContext)",
+			fn.Name.Name, what)
+	}
+}
+
+// receiverExported reports whether fn is a plain function or a method
+// on an exported named type; methods on unexported types are not API.
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// hasCtxParam reports whether any parameter of fn has type
+// context.Context.
+func hasCtxParam(info *types.Info, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// unboundedWork describes the first condition-only loop or I/O call in
+// body, or "" when the function's work is bounded by its inputs.
+func unboundedWork(info *types.Info, body *ast.BlockStmt) string {
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure runs on its owner's schedule
+		case *ast.ForStmt:
+			// Only condition-only loops: three-clause counting loops
+			// and range loops are bounded by their inputs.
+			if n.Init == nil && n.Post == nil {
+				what = "a condition-only loop"
+			}
+		case *ast.CallExpr:
+			if fn, ok := callee(info, n).(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "os" && ioFuncs[fn.Name()] {
+				what = "filesystem I/O (os." + fn.Name() + ")"
+			}
+		}
+		return true
+	})
+	return what
+}
+
+// checkNoFreshRoots flags context.Background()/context.TODO() calls.
+func checkNoFreshRoots(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := callee(info, call)
+			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+				pass.Reportf(call.Pos(), "context.%s mints a fresh root in a library package, "+
+					"detaching callees from the caller's cancellation; accept a ctx instead",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}

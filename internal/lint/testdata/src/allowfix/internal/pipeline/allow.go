@@ -1,0 +1,49 @@
+// Package pipeline exercises the //lint:allow suppression mechanism:
+// a justified allow silences exactly the named rule on its own line or
+// the line below, unknown rule names are themselves diagnostics, and
+// stale allows are reported.
+package pipeline
+
+import "fmt"
+
+// Good: a justified allow on the line above suppresses the named rule
+// on the next line — and nothing else.
+func allowedAbove(err error) error {
+	//lint:allow errtaxonomy the CLI prints this flat by design
+	return fmt.Errorf("flat: %v", err)
+}
+
+// Good: a trailing allow suppresses its own line.
+func allowedTrailing(err error) error {
+	return fmt.Errorf("flat: %v", err) //lint:allow errtaxonomy flat by design for the usage banner
+}
+
+// Bad: an unknown rule name is itself a diagnostic, and it suppresses
+// nothing, so the violation underneath still fires.
+func unknownRule(err error) error {
+	//lint:allow errtaxnomy typo'd rule name // want "allow: unknown rule \"errtaxnomy\" in //lint:allow"
+	return fmt.Errorf("flat: %v", err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}
+
+// Bad: an allow that suppresses nothing is stale and must be removed,
+// not left to rot into a blanket exemption.
+func stale(err error) error {
+	//lint:allow errtaxonomy nothing below trips the rule // want "allow: stale //lint:allow errtaxonomy"
+	return fmt.Errorf("ok: %w", err)
+}
+
+// Good: an allow naming a rule that did not run in this pass is left
+// alone — a single-analyzer run must not flag allows aimed at the
+// other rules.
+func otherRule(err error) error {
+	//lint:allow ctxflow justified for a rule this fixture pass does not run
+	return fmt.Errorf("ok: %w", err)
+}
+
+// Good: an allow only reaches one line; two lines down it no longer
+// suppresses, which keeps allows from growing into block exemptions.
+func outOfReach(err error) error {
+	//lint:allow errtaxonomy reaches only the next line // want "allow: stale //lint:allow errtaxonomy"
+	_ = err
+	return fmt.Errorf("flat: %v", err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}

@@ -1,0 +1,20 @@
+// Package pipeline holds the allow comments whose meta-diagnostics
+// cannot carry inline `// want` expectations (the expectation text
+// would become the allow's justification); allow_test.go asserts on
+// them programmatically.
+package pipeline
+
+import "fmt"
+
+// A bare marker with no rule name is malformed.
+func malformed(err error) error {
+	//lint:allow
+	return fmt.Errorf("flat: %w", err)
+}
+
+// A rule with no justification still suppresses — the suppression must
+// not silently vanish under an unrelated complaint — but is reported.
+func noReason(err error) error {
+	//lint:allow errtaxonomy
+	return fmt.Errorf("flat: %v", err)
+}

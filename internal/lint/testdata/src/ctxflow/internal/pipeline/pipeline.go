@@ -1,0 +1,70 @@
+// Package pipeline exercises the ctxflow analyzer: exported entry
+// points here sit on the run-pipeline path, so unbounded work must be
+// reachable by the caller's cancellation.
+package pipeline
+
+import (
+	"context"
+	"os"
+)
+
+// Engine is an exported type, so its exported methods are API.
+type Engine struct{ stop bool }
+
+// Bad: a condition-only loop with no ctx parameter — the replay-loop
+// shape that runs until the simulation decides to stop.
+func (e *Engine) Drain() { // want "ctxflow: exported Drain contains a condition-only loop but takes no context.Context"
+	for !e.stop {
+		e.step()
+	}
+}
+
+// Bad: filesystem I/O with no ctx parameter.
+func Load(path string) ([]byte, error) { // want "ctxflow: exported Load contains filesystem I/O \\(os.ReadFile\\) but takes no context.Context"
+	return os.ReadFile(path)
+}
+
+// Bad: an exported spin loop, even with a break, is condition-only.
+func Wait(ready func() bool) { // want "ctxflow: exported Wait contains a condition-only loop but takes no context.Context"
+	for {
+		if ready() {
+			break
+		}
+	}
+}
+
+// Bad: library code must not mint a fresh root; it silently detaches
+// callees from the caller's cancellation.
+func (e *Engine) step() {
+	ctx := context.Background() // want "ctxflow: context.Background mints a fresh root in a library package"
+	_ = ctx
+}
+
+// Good: the ctx-accepting variant of the same loop.
+func (e *Engine) DrainContext(ctx context.Context) {
+	for !e.stop {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// Good: three-clause and range loops are bounded by their inputs.
+func Sum(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Good: unexported helpers are not API surface for this rule.
+func drainQuietly(e *Engine) {
+	for !e.stop {
+	}
+}

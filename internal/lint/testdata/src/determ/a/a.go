@@ -1,0 +1,76 @@
+// Package a exercises the determinism analyzer's map-iteration and
+// sort-comparator checks, which apply to every package in the module.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+type item struct {
+	Key  string
+	Prio int
+}
+
+// Bad: iteration order escapes straight into the output stream; no
+// later sort can repair it.
+func printMap(m map[string]int) {
+	for k, v := range m { // want "determinism: map iteration order reaches fmt.Println directly"
+		fmt.Println(k, v)
+	}
+}
+
+// Bad: the keys collected from the map are returned unsorted, so the
+// caller observes iteration order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "determinism: map range appends to \"keys\" but the function never sorts it"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Bad: a single projected key over a multi-field struct is a partial
+// order; equal priorities permute under -parallel.
+func sortByPrio(items []item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Prio < items[j].Prio }) // want "determinism: sort.Slice orders structs by field .Prio alone"
+}
+
+// Bad: the stable variant has the same problem when the input
+// permutation itself is schedule-dependent.
+func sortByKeyMethod(items []*item) {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].key() < items[j].key() }) // want "determinism: sort.SliceStable orders structs by method key\\(\\) alone"
+}
+
+func (it *item) key() string { return it.Key }
+
+// Good: collect, then sort — the canonical repair.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Good: a comparator with a tie-break chain is a total order.
+func sortTotal(items []item) {
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Prio != items[j].Prio {
+			return items[i].Prio < items[j].Prio
+		}
+		return items[i].Key < items[j].Key
+	})
+}
+
+// Good: appending into a fresh local that never outlives the loop's
+// statement is invisible; sorting by the whole element of a basic slice
+// is already total.
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

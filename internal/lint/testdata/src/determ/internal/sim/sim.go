@@ -1,0 +1,39 @@
+// Package sim exercises the determinism analyzer's simulation-package
+// scope: host clocks and the process-global rand source are forbidden
+// here outright, because model time must come from simulated cycles and
+// randomness from the spec-seeded stream.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: reads the host clock.
+func stamp() int64 {
+	t := time.Now() // want "determinism: wall-clock time.Now in a simulation package"
+	return t.UnixNano()
+}
+
+// Bad: measures host elapsed time.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "determinism: wall-clock time.Since in a simulation package"
+}
+
+// Bad: waits on the host clock.
+func nap() {
+	time.Sleep(time.Millisecond) // want "determinism: wall-clock time.Sleep in a simulation package"
+}
+
+// Bad: draws from the process-global source, whose sequence depends on
+// every other goroutine that touched it.
+func jitter() int {
+	return rand.Intn(8) // want "determinism: process-global rand.Intn in a simulation package"
+}
+
+// Good: a locally seeded source replays identically (method calls on a
+// *rand.Rand are fine), and Duration conversions never read the clock.
+func seeded(seed int64) time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	return time.Duration(r.Intn(8)) * time.Millisecond
+}

@@ -1,0 +1,40 @@
+// Package pipeline exercises the errtaxonomy analyzer: errors crossing
+// the pipeline boundary must stay inspectable by errors.Is/As so the
+// resilience taxonomy can classify them.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bad: %v flattens the cause to a string.
+func wrapV(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}
+
+// Bad: %s is the same severed chain with different spelling.
+func wrapS(err error) error {
+	return fmt.Errorf("acquire %s: %s", "fft", err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}
+
+// Bad: stringifying explicitly before formatting evades the verb check
+// but not the Error() check.
+func wrapString(err error) error {
+	return fmt.Errorf("stage failed: " + err.Error()) // want "errtaxonomy: err.Error\\(\\) inside fmt.Errorf flattens the error chain"
+}
+
+// Bad: errors.New over a flattened cause.
+func newString(err error) error {
+	return errors.New("stage failed: " + err.Error()) // want "errtaxonomy: err.Error\\(\\) inside errors.New flattens the error chain"
+}
+
+// Good: %w keeps the cause reachable.
+func wrapW(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// Good: formatting non-error values with %v is unrestricted.
+func describe(n int, name string) error {
+	return fmt.Errorf("spec %d (%v): invalid", n, name)
+}

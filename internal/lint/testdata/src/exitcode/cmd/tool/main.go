@@ -1,0 +1,30 @@
+// Command tool exercises the exitcode analyzer's main-package rules:
+// func main may exit directly, every other function must return errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// Good: func main is the one place a main package may exit.
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	return nil
+}
+
+// Bad: helpers in a main package must not exit on their own.
+func helperExit() {
+	os.Exit(2) // want "exitcode: os.Exit bypasses the typed exit-code contract"
+}
+
+// Bad: nor may they panic across the boundary.
+func helperPanic() {
+	panic("unreachable") // want "exitcode: panic crosses the pipeline error boundary"
+}

@@ -1,0 +1,18 @@
+// Package cli is the one library package allowed to exit: it owns the
+// typed exit-code contract, so nothing here is a diagnostic.
+package cli
+
+import (
+	"log"
+	"os"
+)
+
+// Exit maps a classified failure onto the typed exit-code contract.
+func Exit(code int) {
+	os.Exit(code)
+}
+
+// Die is permitted here and only here.
+func Die(msg string) {
+	log.Fatal(msg)
+}

@@ -47,6 +47,7 @@ func isKeyLine(s string) bool {
 // otherwise the journal is truncated and the sweep starts fresh. A
 // partial or malformed tail (crash mid-append) is truncated to the last
 // complete record.
+//lint:allow ctxflow opening the journal is one bounded open+scan of a local file; the sweep ctx governs the replay work, not this setup step
 func OpenJournal(path string, resume bool) (*Journal, error) {
 	flags := os.O_RDWR | os.O_CREATE
 	if !resume {

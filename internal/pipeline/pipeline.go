@@ -215,6 +215,7 @@ func (e *Engine) Close() error {
 // Run characterizes one spec, serving it from cache when possible and
 // joining an identical in-flight run instead of duplicating it.
 func (e *Engine) Run(spec RunSpec) (*Artifact, error) {
+	//lint:allow ctxflow context-free compatibility wrapper; callers that cannot cancel get a fresh root here, cancellable callers use RunContext
 	return e.RunContext(context.Background(), spec)
 }
 
@@ -285,6 +286,7 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (*Artifact, error
 // pool) and returns the artifacts in spec order. Errors are joined; the
 // artifact slot of a failed spec is nil.
 func (e *Engine) RunAll(specs ...RunSpec) ([]*Artifact, error) {
+	//lint:allow ctxflow context-free compatibility wrapper over RunAllContext
 	return e.RunAllContext(context.Background(), specs...)
 }
 

@@ -123,6 +123,41 @@ func TestDoRetriesTransientOnly(t *testing.T) {
 	}
 }
 
+// TestDoInterruptedKeepsLastAttemptInspectable pins the errtaxonomy
+// contract on the "retry interrupted" wrap: both the cancellation and
+// the last attempt's error must stay reachable by errors.Is/As. The
+// repolint errtaxonomy analyzer found the previous form stringifying
+// the last attempt with %v, which made the underlying *os.PathError
+// invisible to callers triaging an interrupted sweep.
+func TestDoInterruptedKeepsLastAttemptInspectable(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pathErr := &os.PathError{Op: "open", Path: "cache/artifact", Err: os.ErrNotExist}
+	attempts, err := p.Do(ctx, 1, func() error {
+		// Cancel after the attempt: Do then enters its backoff sleep and
+		// must return immediately with the interruption wrap.
+		cancel()
+		return pathErr
+	})
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled reachable", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("last attempt's cause not wrapped: %v", err)
+	}
+	// The interrupted wrap must still classify as Permanent: the
+	// cancellation dominates the transient last attempt.
+	if Classify(err) != Permanent {
+		t.Fatalf("Classify(%v) = %v, want Permanent", err, Classify(err))
+	}
+}
+
 func TestDoStopsOnCancelledContext(t *testing.T) {
 	p := Policy{MaxAttempts: 1000, BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 1}
 	ctx, cancel := context.WithCancel(context.Background())

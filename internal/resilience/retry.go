@@ -92,9 +92,12 @@ func (p Policy) Do(ctx context.Context, seed uint64, fn func() error) (int, erro
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				// The cancellation dominates — the transient error would
-				// have been retried — but stays visible as diagnostics.
-				return n, fmt.Errorf("retry interrupted: %w (last attempt: %v)", ctx.Err(), err)
+				// The cancellation dominates — Classify checks the context
+				// sentinels before anything else — but the last attempt's
+				// error must stay reachable by errors.Is/As too, so both
+				// branches are wrapped with %w (the errtaxonomy analyzer
+				// flags the stringifying %v this replaces).
+				return n, fmt.Errorf("retry interrupted: %w (last attempt: %w)", ctx.Err(), err)
 			case <-t.C:
 			}
 		}

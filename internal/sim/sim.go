@@ -167,6 +167,7 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 
 // Step fires the next event, advancing the clock. It returns false when the
 // calendar is empty.
+//lint:allow ctxflow pops at most one event per iteration, bounded by the calendar; cancellation is Run's and RunCheckedContext's job
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
@@ -212,6 +213,7 @@ func (s *Simulator) Run() {
 
 // RunUntil fires events with time <= t, then sets the clock to t (if the
 // simulation had not already advanced past it).
+//lint:allow ctxflow drains only events at or before t, bounded by the calendar; cancellable runs go through RunCheckedContext
 func (s *Simulator) RunUntil(t Time) {
 	for len(s.queue) > 0 {
 		// Peek without popping: queue[0] is the minimum.

@@ -190,6 +190,7 @@ func (s *Simulator) stallError(reason string) *DeadlockError {
 // is exceeded, it stops and returns a *DeadlockError describing who waits
 // on what instead of hanging or finishing silently.
 func (s *Simulator) RunChecked() error {
+	//lint:allow ctxflow context-free compatibility wrapper over RunCheckedContext
 	return s.RunCheckedContext(context.Background())
 }
 
@@ -224,6 +225,7 @@ func (s *Simulator) RunCheckedContext(ctx context.Context) error {
 	wd := s.watchdog
 	var deadline time.Time
 	if wd.MaxWall > 0 {
+		//lint:allow determinism MaxWall is deliberately a host-wall-clock safety budget; a trip yields a transient DeadlockError (retried), never a changed characterization
 		deadline = time.Now().Add(wd.MaxWall)
 	}
 	startEvents := s.fired
@@ -236,6 +238,7 @@ func (s *Simulator) RunCheckedContext(ctx context.Context) error {
 		}
 		// Wall-clock and cancellation checks are amortized: time.Now and
 		// channel polls are cheap but not free.
+		//lint:allow determinism host-clock poll of the deliberate wall-clock budget above
 		if wd.MaxWall > 0 && i%1024 == 0 && time.Now().After(deadline) {
 			return s.stallError(fmt.Sprintf("wall-clock budget %v exceeded", wd.MaxWall))
 		}

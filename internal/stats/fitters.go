@@ -60,8 +60,28 @@ func FitInterarrival(samples []float64) ([]CandidateFit, error) {
 	if len(out) == 0 {
 		return nil, errors.New("stats: no candidate family could be fitted")
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].R2 > out[j].R2 })
+	sortFits(out)
 	return out, nil
+}
+
+// sortFits ranks candidate fits best-first under a total order: R²
+// descending, then KS ascending (smaller is better), then family name.
+// Ranking by R² alone is a partial order: two families that fit a
+// sample equally well (R² ties are common on near-degenerate phase
+// samples) would keep whatever relative order candidate enumeration
+// produced, so the selected family — and with it the serialized
+// characterization — could change between runs. The repolint
+// determinism analyzer flags the tie-less form this replaces.
+func sortFits(fits []CandidateFit) {
+	sort.SliceStable(fits, func(i, j int) bool {
+		if fits[i].R2 != fits[j].R2 {
+			return fits[i].R2 > fits[j].R2
+		}
+		if fits[i].KS != fits[j].KS {
+			return fits[i].KS < fits[j].KS
+		}
+		return fits[i].Dist.Name() < fits[j].Dist.Name()
+	})
 }
 
 // candidate couples a family's CDF model with its initial estimate and a

@@ -139,3 +139,40 @@ func TestHyperInitMatchesMoments(t *testing.T) {
 		t.Fatalf("invalid H2 parameters: %v %v %v", p, l1, l2)
 	}
 }
+
+// TestSortFitsBreaksR2Ties pins the total order behind candidate
+// ranking: fits with equal R² must fall back to KS (smaller first) and
+// then family name, so the winning family — and the serialized
+// characterization built from it — cannot depend on candidate
+// enumeration order. The repolint determinism analyzer found the
+// previous comparator ranking by R² alone.
+func TestSortFitsBreaksR2Ties(t *testing.T) {
+	mk := func(d Distribution, r2, ks float64) CandidateFit {
+		return CandidateFit{Dist: d, R2: r2, KS: ks}
+	}
+	perms := [][]CandidateFit{
+		{
+			mk(Uniform{0, 1}, 0.9, 0.2),
+			mk(Exponential{1}, 0.9, 0.1),
+			mk(Deterministic{1}, 0.95, 0.3),
+			mk(Weibull{1, 1}, 0.9, 0.1),
+		},
+		{
+			mk(Weibull{1, 1}, 0.9, 0.1),
+			mk(Deterministic{1}, 0.95, 0.3),
+			mk(Uniform{0, 1}, 0.9, 0.2),
+			mk(Exponential{1}, 0.9, 0.1),
+		},
+	}
+	// Best R² first; among the 0.9 ties, KS 0.1 beats 0.2; among the
+	// (0.9, 0.1) ties, "exponential" sorts before "weibull".
+	want := []string{"deterministic", "exponential", "weibull", "uniform"}
+	for p, fits := range perms {
+		sortFits(fits)
+		for i, f := range fits {
+			if f.Dist.Name() != want[i] {
+				t.Fatalf("perm %d: position %d is %s, want %s", p, i, f.Dist.Name(), want[i])
+			}
+		}
+	}
+}

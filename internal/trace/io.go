@@ -135,8 +135,11 @@ func ReadCSV(r io.Reader, ranks int) (*Trace, error) {
 			return t, rr.truncatedIfLast(len(row), "6")
 		}
 		rank, err := strconv.Atoi(row[0])
-		if err != nil || rank < 0 || rank >= ranks {
-			return t, fmt.Errorf("trace: row %d bad rank %q", rowNo, row[0])
+		if err != nil {
+			return t, fmt.Errorf("trace: row %d bad rank %q: %w", rowNo, row[0], err)
+		}
+		if rank < 0 || rank >= ranks {
+			return t, fmt.Errorf("trace: row %d rank %d outside %d ranks", rowNo, rank, ranks)
 		}
 		var op Op
 		switch row[1] {
@@ -149,19 +152,19 @@ func ReadCSV(r io.Reader, ranks int) (*Trace, error) {
 		}
 		peer, err := strconv.Atoi(row[2])
 		if err != nil {
-			return t, fmt.Errorf("trace: row %d bad peer %q", rowNo, row[2])
+			return t, fmt.Errorf("trace: row %d bad peer %q: %w", rowNo, row[2], err)
 		}
 		bytes, err := strconv.Atoi(row[3])
 		if err != nil {
-			return t, fmt.Errorf("trace: row %d bad bytes %q", rowNo, row[3])
+			return t, fmt.Errorf("trace: row %d bad bytes %q: %w", rowNo, row[3], err)
 		}
 		tag, err := strconv.Atoi(row[4])
 		if err != nil {
-			return t, fmt.Errorf("trace: row %d bad tag %q", rowNo, row[4])
+			return t, fmt.Errorf("trace: row %d bad tag %q: %w", rowNo, row[4], err)
 		}
 		compute, err := strconv.ParseInt(row[5], 10, 64)
 		if err != nil {
-			return t, fmt.Errorf("trace: row %d bad compute %q", rowNo, row[5])
+			return t, fmt.Errorf("trace: row %d bad compute %q: %w", rowNo, row[5], err)
 		}
 		t.Add(rank, Event{Op: op, Peer: peer, Bytes: bytes, Tag: tag, Compute: sim.Duration(compute)})
 	}

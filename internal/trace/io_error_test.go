@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,43 @@ func TestReadCSVErrorPaths(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(c.csv), 2); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+// TestReadCSVParseErrorsKeepCause pins the errtaxonomy contract on the
+// reader's field errors: the underlying *strconv.NumError must stay
+// reachable through errors.As, so callers above the pipeline boundary
+// can distinguish a malformed field from a structural trace problem.
+// (The repolint errtaxonomy audit found these wraps dropping the cause.)
+func TestReadCSVParseErrorsKeepCause(t *testing.T) {
+	header := "rank,op,peer,bytes,tag,compute_ns\n"
+	cases := []struct {
+		name string
+		row  string
+	}{
+		{"bad rank", "x,send,1,8,0,0"},
+		{"bad peer", "0,send,x,8,0,0"},
+		{"bad bytes", "0,send,1,x,0,0"},
+		{"bad tag", "0,send,1,8,x,0"},
+		{"bad compute", "0,send,1,8,0,x"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(header+c.row+"\n"), 2)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ne *strconv.NumError
+		if !errors.As(err, &ne) {
+			t.Errorf("%s: cause not wrapped, errors.As found no *strconv.NumError in %v", c.name, err)
+		}
+	}
+	// An in-range parse failure must not be confused with the
+	// out-of-range case, which has no underlying parse error.
+	_, err := ReadCSV(strings.NewReader(header+"9,send,1,8,0,0\n"), 2)
+	var ne *strconv.NumError
+	if err == nil || errors.As(err, &ne) {
+		t.Errorf("rank out of range: got %v, want a plain range error", err)
 	}
 }
 
