@@ -13,7 +13,8 @@
 // Usage:
 //
 //	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv] [-cache-dir .cache]
-//	characterize -app 3D-FFT -trace-out t.csv   (static strategy: export the app trace)
+//	characterize -app 3D-FFT -app-trace-out t.csv   (static strategy: export the app trace)
+//	characterize -app IS -trace-out run.trace.json -debug-addr :8080   (observability)
 //	characterize -list
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/trace"
@@ -40,11 +42,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	procs := fs.Int("procs", 16, "number of processors")
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	logOut := fs.String("log", "", "write the raw network log (CSV) to this file")
-	traceOut := fs.String("trace-out", "", "write the application trace (CSV, static strategy only) to this file")
+	traceOut := fs.String("app-trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
 	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
 	}
 
 	sc := apps.ScaleFull
@@ -65,12 +73,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if _, err := apps.ByName(sc, *app); err != nil {
 		return cli.Usagef("%v", err)
 	}
-	eng, err := pf.Engine()
+	ob, err := of.Observer(stderr)
+	if err != nil {
+		return err
+	}
+	defer ob.Close()
+	eng, err := pf.EngineObserved(ob)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	defer eng.Metrics().Render(stderr)
+	if cf.Metrics {
+		defer eng.Metrics().Render(stderr)
+	}
 	art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 	if err != nil {
 		return err

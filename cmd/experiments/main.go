@@ -5,8 +5,10 @@
 //
 // Runs execute through the shared run pipeline: -parallel bounds the
 // worker pool, -cache-dir enables the content-addressed on-disk cache, and
-// a pipeline summary (runs executed, cache hits, dedup hits) is printed to
-// stderr after the sweep.
+// with -metrics a pipeline summary (runs executed, cache hits, dedup hits)
+// is printed to stderr after the sweep. The observability flags
+// (-trace-out, -debug-addr, -progress, -events-out) expose the sweep live
+// and as a Perfetto-loadable Chrome trace.
 //
 // Usage:
 //
@@ -23,6 +25,7 @@ import (
 	"commchar/internal/apps"
 	"commchar/internal/cli"
 	"commchar/internal/experiments"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 )
 
@@ -35,8 +38,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	only := fs.String("only", "", "run a single experiment (substring of its key, e.g. 'Table 2')")
 	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
 	}
 
 	sc := apps.ScaleFull
@@ -48,14 +57,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("unknown scale %q", *scale)
 	}
 
-	eng, err := pf.Engine()
+	ob, err := of.Observer(stderr)
+	if err != nil {
+		return err
+	}
+	defer ob.Close()
+	eng, err := pf.EngineObserved(ob)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	// The summary goes to stderr so stdout stays byte-identical across
-	// -parallel settings and cache states (cold vs warm).
-	defer eng.Metrics().Render(stderr)
+	if cf.Metrics {
+		// The summary goes to stderr so stdout stays byte-identical across
+		// -parallel settings and cache states (cold vs warm).
+		defer eng.Metrics().Render(stderr)
+	}
 
 	r := experiments.NewRunnerWith(sc, eng).WithContext(ctx)
 	steps := r.Steps(*procs)

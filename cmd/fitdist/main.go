@@ -28,6 +28,7 @@ import (
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/stats"
@@ -66,8 +67,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	scale := fs.String("scale", "full", "problem scale: full or small (with -app)")
 	overlay := fs.Bool("overlay", false, "print the measured-vs-fitted CDF overlay for the winner")
 	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
 	}
 	if *app != "" && *in != "" {
 		return cli.Usagef("-app and -in are mutually exclusive")
@@ -82,12 +89,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if _, err := apps.ByName(sc, *app); err != nil {
 			return cli.Usagef("%v", err)
 		}
-		eng, err := pf.Engine()
+		ob, err := of.Observer(stderr)
+		if err != nil {
+			return err
+		}
+		defer ob.Close()
+		eng, err := pf.EngineObserved(ob)
 		if err != nil {
 			return err
 		}
 		defer eng.Close()
-		defer eng.Metrics().Render(stderr)
+		if cf.Metrics {
+			defer eng.Metrics().Render(stderr)
+		}
 		art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 		if err != nil {
 			return err

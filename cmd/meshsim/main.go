@@ -26,6 +26,7 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/fault"
 	"commchar/internal/mesh"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
 	"commchar/internal/sim"
@@ -51,8 +52,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	maxWall := fs.Duration("max-wall", 0, "watchdog: abort after this much wall-clock time (0 = unlimited)")
 	out := fs.String("out", "", "write the delivery log (CSV) to this file")
 	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
 	}
 
 	if *traceFile == "" {
@@ -91,12 +98,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	eng, err := pf.Engine()
+	ob, err := of.Observer(stderr)
+	if err != nil {
+		return err
+	}
+	defer ob.Close()
+	eng, err := pf.EngineObserved(ob)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	defer eng.Metrics().Render(stderr)
+	if cf.Metrics {
+		defer eng.Metrics().Render(stderr)
+	}
 	art, err := eng.RunContext(ctx, pipeline.RunSpec{
 		Trace:           tr,
 		Procs:           *ranks,

@@ -24,6 +24,7 @@ import (
 	"commchar/internal/apps"
 	"commchar/internal/cli"
 	"commchar/internal/core"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/sim"
 	"commchar/internal/trace"
@@ -42,8 +43,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed for the synthetic generator")
 	elapsedMS := fs.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
 	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
 	}
 
 	var c *core.Characterization
@@ -56,12 +63,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if _, err := apps.ByName(sc, *app); err != nil {
 			return cli.Usagef("%v", err)
 		}
-		eng, err := pf.Engine()
+		ob, err := of.Observer(stderr)
+		if err != nil {
+			return err
+		}
+		defer ob.Close()
+		eng, err := pf.EngineObserved(ob)
 		if err != nil {
 			return err
 		}
 		defer eng.Close()
-		defer eng.Metrics().Render(stderr)
+		if cf.Metrics {
+			defer eng.Metrics().Render(stderr)
+		}
 		art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
 		if err != nil {
 			return err

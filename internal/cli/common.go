@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"flag"
+
+	"commchar/internal/obs"
+)
+
+// CommonFlags is the tool-agnostic flag set every cmd/ binary carries:
+// -metrics prints the pipeline counters summary on stderr at exit, and
+// -version prints the build identity and exits.
+type CommonFlags struct {
+	Metrics bool
+	Version bool
+}
+
+// AddCommonFlags registers the common flags on a flag set.
+func AddCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	f := &CommonFlags{}
+	fs.BoolVar(&f.Metrics, "metrics", false,
+		"print the pipeline metrics summary on stderr at exit")
+	fs.BoolVar(&f.Version, "version", false,
+		"print the build identity (module version, VCS revision, Go version) and exit")
+	return f
+}
+
+// VersionString is what -version prints: the binary's module path,
+// version, VCS revision, and Go toolchain, from the build metadata the
+// go tool stamps into every binary.
+func VersionString() string { return obs.ReadBuildInfo().String() }

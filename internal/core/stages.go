@@ -95,8 +95,17 @@ func ReplayTrace(tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mes
 // is killable; the returned *sim.DeadlockError then carries the usual
 // blocked-process diagnostics with the context's error as its cause.
 func ReplayTraceContext(ctx context.Context, tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog) (*RawRun, error) {
+	return ReplayTraceObserved(ctx, tr, cfg, cost, inj, wd, 0, nil)
+}
+
+// ReplayTraceObserved is ReplayTraceContext with a simulator progress hook
+// installed (see sim.SetProgress): hook receives the simulated clock and
+// cumulative event count every `every` fired events, the seam live
+// monitoring hangs off. A nil hook (or every <= 0) observes nothing.
+func ReplayTraceObserved(ctx context.Context, tr *trace.Trace, cfg mesh.Config, cost trace.CostModel, inj mesh.Injector, wd sim.Watchdog, every int64, hook sim.ProgressFunc) (*RawRun, error) {
 	s := sim.New()
 	s.SetContext(ctx)
+	s.SetProgress(every, hook)
 	net := mesh.New(s, cfg)
 	if inj != nil {
 		net.SetFaults(inj)

@@ -2,13 +2,16 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"commchar/internal/apps"
+	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 )
 
@@ -16,7 +19,14 @@ import (
 // given worker-pool width and returns the rendered output.
 func sweep(t *testing.T, parallel int) string {
 	t.Helper()
-	eng, err := pipeline.New(pipeline.Options{Parallel: parallel})
+	return sweepObserved(t, parallel, nil)
+}
+
+// sweepObserved is sweep with an optional observer attached to the
+// engine, for asserting that tracing never changes results.
+func sweepObserved(t *testing.T, parallel int, ob *obs.Observer) string {
+	t.Helper()
+	eng, err := pipeline.New(pipeline.Options{Parallel: parallel, Obs: ob})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +56,25 @@ func TestParallelSweepIsDeterministic(t *testing.T) {
 		lo := max(0, i-120)
 		t.Fatalf("parallel sweep diverges from sequential at byte %d:\nsequential: %q\nparallel:   %q",
 			i, seq[lo:min(len(seq), i+120)], par[lo:min(len(par), i+120)])
+	}
+
+	// Tracing must be invisible to results: a fully observed parallel
+	// sweep — spans, metrics, progress, Chrome trace written to disk —
+	// is byte-identical to the untraced sequential baseline.
+	ob := obs.NewObserver(obs.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Millisecond))
+	ob.TracePath = filepath.Join(t.TempDir(), "sweep.trace.json")
+	traced := sweepObserved(t, 8, ob)
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if traced != seq {
+		t.Fatal("traced sweep output differs from untraced sequential baseline")
+	}
+	if len(ob.Tracer.Events()) == 0 {
+		t.Fatal("traced sweep recorded no trace events")
+	}
+	if raw, err := os.ReadFile(ob.TracePath); err != nil || !json.Valid(raw) {
+		t.Fatalf("Chrome trace at %s invalid: err=%v valid=%t", ob.TracePath, err, err == nil && json.Valid(raw))
 	}
 	for _, want := range []string{
 		"Table 1: application suite",

@@ -20,6 +20,17 @@ var simulationPackages = []string{
 	"internal/ccnuma",
 }
 
+// clockedPackages are the packages that may observe the host clock, but
+// only through the obs.Clock seam: internal/obs owns the single
+// sanctioned real-clock shim (obs.System, carrying the one permanent
+// //lint:allow), and internal/pipeline times its stages against an
+// injected Clock so a fake clock makes every export reproducible. A bare
+// time.Now here bypasses the injection point and is flagged.
+var clockedPackages = []string{
+	"internal/obs",
+	"internal/pipeline",
+}
+
 // wallClockFuncs are the time package entry points that observe or wait
 // on the host clock. Conversions and constants (time.Duration,
 // time.Millisecond) remain fine.
@@ -56,6 +67,9 @@ func runDeterminism(pass *Pass) error {
 	}
 	if inScope(pass.Pkg.Path(), simulationPackages...) {
 		checkWallClockAndRand(pass)
+	}
+	if inScope(pass.Pkg.Path(), clockedPackages...) {
+		checkWallClockBehindClock(pass)
 	}
 	return nil
 }
@@ -278,6 +292,35 @@ func multiFieldStruct(t types.Type) bool {
 	}
 	st, ok := t.Underlying().(*types.Struct)
 	return ok && st.NumFields() > 1
+}
+
+// checkWallClockBehindClock forbids bare host-clock reads inside the
+// clocked packages: all wall time there must flow through an injected
+// obs.Clock. The single legitimate time.Now — obs.System's real-clock
+// shim — carries a permanent //lint:allow, which also proves the allow
+// machinery keeps working.
+func checkWallClockBehindClock(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := callee(info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // Clock.Now and friends are the sanctioned path
+			}
+			if fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(), "wall-clock time.%s outside obs.Clock; "+
+					"inject a Clock (obs.System in production, obs.Fake in tests) so traced exports stay reproducible", fn.Name())
+			}
+			return true
+		})
+	}
 }
 
 // checkWallClockAndRand forbids host-clock reads and the global

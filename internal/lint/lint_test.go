@@ -21,6 +21,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{"determ/a", []*Analyzer{DeterminismAnalyzer}},
 		{"determ/internal/sim", []*Analyzer{DeterminismAnalyzer}},
+		{"obsclock/internal/obs", []*Analyzer{DeterminismAnalyzer}},
+		{"obsclock/internal/pipeline", []*Analyzer{DeterminismAnalyzer}},
 		{"ctxflow/internal/pipeline", []*Analyzer{CtxflowAnalyzer}},
 		{"errtax/internal/pipeline", []*Analyzer{ErrTaxonomyAnalyzer}},
 		{"exitcode/internal/report", []*Analyzer{ExitCodeAnalyzer}},

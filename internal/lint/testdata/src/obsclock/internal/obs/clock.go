@@ -1,0 +1,38 @@
+// Package obs exercises the determinism analyzer's clocked-package
+// scope: internal/obs is the sanctioned home of wall-clock reads, but
+// only through the Clock seam — the real-clock shim carries the one
+// justified //lint:allow; any other bare time.* read is a diagnostic.
+package obs
+
+import "time"
+
+// Clock abstracts wall-clock reads.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+// Good: the single sanctioned real-clock shim, suppressed by an allow
+// (which must therefore not be reported as stale).
+func (systemClock) Now() time.Time {
+	//lint:allow determinism the one sanctioned wall-clock read behind the Clock seam
+	return time.Now()
+}
+
+// Bad: a bare host-clock read bypassing the Clock seam.
+func stampDirect() int64 {
+	return time.Now().UnixNano() // want "determinism: wall-clock time.Now outside obs.Clock"
+}
+
+// Bad: host sleeps are just as schedule-dependent as reads.
+func settle() {
+	time.Sleep(time.Millisecond) // want "determinism: wall-clock time.Sleep outside obs.Clock"
+}
+
+// Good: reading through an injected Clock is the sanctioned path
+// (method calls are exempt), and Duration arithmetic never touches the
+// host clock.
+func stamp(c Clock) int64 {
+	return c.Now().Add(time.Millisecond).UnixNano()
+}

@@ -1,0 +1,28 @@
+// Package pipeline exercises the determinism analyzer's clocked-package
+// scope outside internal/obs itself: the engine may time its stages only
+// against an injected Clock, never the host clock directly — a bare
+// time.Now would make traced exports unreproducible under a fake clock.
+package pipeline
+
+import "time"
+
+// clock mirrors obs.Clock; the fixture keeps it local so the package
+// type-checks standalone.
+type clock interface {
+	Now() time.Time
+}
+
+// Bad: times a stage against the host clock directly.
+func stageDirect(run func()) time.Duration {
+	start := time.Now() // want "determinism: wall-clock time.Now outside obs.Clock"
+	run()
+	return time.Since(start) // want "determinism: wall-clock time.Since outside obs.Clock"
+}
+
+// Good: the stage is timed against the injected clock, so a fake clock
+// reproduces the measurement byte for byte.
+func stage(c clock, run func()) time.Duration {
+	start := c.Now()
+	run()
+	return c.Now().Sub(start)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies a deployed binary: module version plus the VCS
+// revision stamped by the go toolchain. Scraped as the build_info gauge
+// so dashboards can tell which build produced which metrics.
+type BuildInfo struct {
+	Path      string // main module path
+	Version   string // module version ("(devel)" for local builds)
+	Revision  string // VCS commit, "" when not stamped
+	Time      string // VCS commit time, "" when not stamped
+	Modified  bool   // working tree was dirty at build time
+	GoVersion string
+}
+
+// ReadBuildInfo extracts the binary's identity from
+// runtime/debug.ReadBuildInfo. Binaries built without module info
+// (rare: only go test-compiled internals) report just the Go version.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Path = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the -version flag prints it.
+func (b BuildInfo) String() string {
+	out := b.Path
+	if out == "" {
+		out = "unknown"
+	}
+	version := b.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	out += " " + version
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev
+		if b.Modified {
+			out += "+dirty"
+		}
+	}
+	return fmt.Sprintf("%s (%s)", out, b.GoVersion)
+}
+
+// RegisterBuildInfo publishes b as the constant commchar_build_info
+// gauge (value 1, identity in the labels — the Prometheus convention).
+func (r *Registry) RegisterBuildInfo(b BuildInfo) {
+	rev := b.Revision
+	if b.Modified && rev != "" {
+		rev += "+dirty"
+	}
+	r.ConstGauge("commchar_build_info",
+		"build identity of the running binary (value is always 1)",
+		map[string]string{
+			"path":       b.Path,
+			"version":    b.Version,
+			"revision":   rev,
+			"go_version": b.GoVersion,
+		}, 1)
+}

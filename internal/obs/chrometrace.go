@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is the JSON shape of one Chrome trace-event record. Args
+// is a map so encoding/json's sorted-key marshalling keeps the output
+// deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events as Chrome trace-event JSON (the array
+// form), loadable in Perfetto and chrome://tracing. Processes and
+// tracks are assigned numeric pids/tids in sorted-name order and
+// announced with process_name/thread_name metadata records, so the same
+// event set always serializes to the same bytes.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	// Assign pids to processes and tids to tracks in sorted order.
+	procSet := map[string]map[string]bool{}
+	for _, ev := range events {
+		if procSet[ev.Process] == nil {
+			procSet[ev.Process] = map[string]bool{}
+		}
+		procSet[ev.Process][ev.Track] = true
+	}
+	procNames := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procNames = append(procNames, p)
+	}
+	sort.Strings(procNames)
+
+	pids := map[string]int{}
+	tids := map[string]map[string]int{}
+	var records []chromeEvent
+	for pi, p := range procNames {
+		pid := pi + 1
+		pids[p] = pid
+		records = append(records, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": p},
+		})
+		tracks := make([]string, 0, len(procSet[p]))
+		for tr := range procSet[p] {
+			tracks = append(tracks, tr)
+		}
+		sort.Strings(tracks)
+		tids[p] = map[string]int{}
+		for ti, tr := range tracks {
+			tid := ti + 1
+			tids[p][tr] = tid
+			records = append(records, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": tr},
+			})
+		}
+	}
+
+	sorted := make([]TraceEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].TS != sorted[j].TS {
+			return sorted[i].TS < sorted[j].TS
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, ev := range sorted {
+		rec := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Phase),
+			PID: pids[ev.Process], TID: tids[ev.Process][ev.Track],
+			TS: ev.TS, Dur: ev.Dur, Args: ev.Args,
+		}
+		if ev.Phase == 'i' {
+			rec.S = "t" // thread-scoped instant
+		}
+		records = append(records, rec)
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, rec := range records {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace event %q: %w", rec.Name, err)
+		}
+		sep := ",\n"
+		if i == len(records)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,76 @@
+// Package obs is the observability subsystem: span tracing with
+// deterministic IDs, a unified metrics registry exportable as Prometheus
+// text and expvar-style JSON, Chrome trace-event timelines (loadable in
+// Perfetto), a JSONL event log with a bounded flight-recorder ring, and
+// an opt-in debug HTTP server.
+//
+// The package is standard-library only and imports nothing else from the
+// repository, so every layer — pipeline, CLI harness, report — can
+// depend on it without cycles.
+//
+// Wall-clock discipline: the rest of the repository never calls time.Now
+// directly (repolint's determinism analyzer enforces this for
+// internal/pipeline and internal/obs itself). All host-time readings go
+// through the Clock interface; System() is the one sanctioned shim onto
+// the real clock, and Fake provides a deterministic clock for tests and
+// golden exports. Simulated time is a different axis entirely — it comes
+// from sim cycles and reaches this package only as pre-computed
+// TraceEvent timestamps.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads so instrumented code can run under
+// the real clock in production and a deterministic fake in tests. It is
+// the only sanctioned path to host time outside internal/cli.
+type Clock interface {
+	// Now returns the current instant on this clock.
+	Now() time.Time
+}
+
+// System returns the process wall clock.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+// Now reads the host clock. This is the repository's single sanctioned
+// real-clock shim; everything else injects a Clock.
+func (systemClock) Now() time.Time {
+	//lint:allow determinism the one sanctioned wall-clock read; all other packages inject obs.Clock
+	return time.Now()
+}
+
+// Fake is a deterministic Clock for tests and golden exports: it starts
+// at a fixed instant and advances by a fixed step on every read, so a
+// sequence of instrumented operations produces identical timestamps —
+// and therefore byte-identical trace and metrics exports — on every run.
+type Fake struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFake returns a fake clock starting at start that advances by step
+// after each Now call (step 0 freezes the clock).
+func NewFake(start time.Time, step time.Duration) *Fake {
+	return &Fake{now: start, step: step}
+}
+
+// Now returns the fake instant, then advances the clock by the step.
+func (c *Fake) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// Advance moves the fake clock forward by d without counting as a read.
+func (c *Fake) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Flags is the uniform observability flag set shared by every cmd/
+// tool: -debug-addr starts the live debug server, -trace-out writes the
+// Chrome trace at exit, -events-out writes the flight-recorder JSONL,
+// and -progress reports per-spec stage transitions on stderr.
+type Flags struct {
+	DebugAddr string
+	TraceOut  string
+	EventsOut string
+	Progress  bool
+}
+
+// AddFlags registers the observability flags on a flag set.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve the debug endpoints (/metrics, /healthz, /progress, /events, /debug/pprof) on this address (empty: disabled)")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a Chrome trace-event JSON timeline (engine spans + simulated message slices; load in Perfetto) to this file")
+	fs.StringVar(&f.EventsOut, "events-out", "",
+		"write the flight-recorder event log (JSON Lines) to this file")
+	fs.BoolVar(&f.Progress, "progress", false,
+		"report per-spec pipeline stage transitions on stderr")
+	return f
+}
+
+// enabled reports whether any observability feature was requested.
+func (f *Flags) enabled() bool {
+	return f.DebugAddr != "" || f.TraceOut != "" || f.EventsOut != "" || f.Progress
+}
+
+// Observer builds the observer the flags describe, starting the debug
+// server when -debug-addr is set and echoing its bound address to
+// stderr. With every flag off it returns nil — the nil observer is the
+// documented no-op, so untraced runs skip all bookkeeping. The caller
+// owns Close (which writes -trace-out/-events-out and stops the
+// server).
+func (f *Flags) Observer(stderr io.Writer) (*Observer, error) {
+	if !f.enabled() {
+		return nil, nil
+	}
+	o := NewObserver(System())
+	o.TracePath = f.TraceOut
+	o.EventsPath = f.EventsOut
+	if f.Progress {
+		o.Progress.SetReporter(stderr)
+	}
+	if f.DebugAddr != "" {
+		if err := o.ServeDebug(f.DebugAddr); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "debug server listening on http://%s\n", o.DebugAddr())
+	}
+	return o, nil
+}

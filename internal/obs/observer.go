@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// An Observer bundles the subsystem's components — tracer, metrics
+// registry, progress tracker, flight recorder, debug server — behind
+// one handle the pipeline is instrumented against. Every method is safe
+// on a nil *Observer (a no-op), so an untraced run pays only nil checks
+// and stays byte-identical to a traced one.
+type Observer struct {
+	clock    Clock
+	Tracer   *Tracer
+	Registry *Registry
+	Progress *Progress
+	Events   *EventLog
+	server   *Server
+
+	// TracePath and EventsPath, when set, receive the Chrome trace JSON
+	// and the flight-recorder JSONL at Close.
+	TracePath  string
+	EventsPath string
+}
+
+// flightRecorderCapacity bounds the event ring: enough to hold the tail
+// of any realistic sweep, small enough to never matter.
+const flightRecorderCapacity = 4096
+
+// NewObserver builds an observer with every component attached (no
+// debug server — see ServeDebug). A nil clock means System(); tests
+// pass a Fake for deterministic exports. The binary's build identity is
+// registered immediately, so any scrape identifies the build.
+func NewObserver(clock Clock) *Observer {
+	if clock == nil {
+		clock = System()
+	}
+	o := &Observer{
+		clock:    clock,
+		Tracer:   NewTracer(clock),
+		Registry: NewRegistry(),
+		Progress: NewProgress(clock),
+		Events:   NewEventLog(clock, flightRecorderCapacity),
+	}
+	o.Registry.RegisterBuildInfo(ReadBuildInfo())
+	return o
+}
+
+// ClockOrSystem returns the observer's clock, or the system clock for a
+// nil observer — the pipeline's one wall-clock source either way.
+func (o *Observer) ClockOrSystem() Clock {
+	if o == nil {
+		return System()
+	}
+	return o.clock
+}
+
+// StartSpan opens a tracer span (nil observer: a nil, no-op span).
+func (o *Observer) StartSpan(process, track, cat, name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.StartSpan(process, track, cat, name)
+}
+
+// Instant records a zero-duration tracer event.
+func (o *Observer) Instant(process, track, cat, name string, args map[string]string) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Instant(process, track, cat, name, args)
+}
+
+// AddTraceEvents commits pre-built trace events (simulated-time
+// message timelines).
+func (o *Observer) AddTraceEvents(events ...TraceEvent) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Add(events...)
+}
+
+// Emit appends an event to the flight recorder.
+func (o *Observer) Emit(name string, fields map[string]string) {
+	if o == nil {
+		return
+	}
+	o.Events.Emit(name, fields)
+}
+
+// SpecStage records a spec's transition into a pipeline stage.
+func (o *Observer) SpecStage(spec, stage string) {
+	if o == nil {
+		return
+	}
+	o.Progress.Update(spec, stage)
+}
+
+// SpecDone records a spec's completion and its artifact source.
+func (o *Observer) SpecDone(spec, source string) {
+	if o == nil {
+		return
+	}
+	o.Progress.Done(spec, source)
+}
+
+// SpecFail records a spec's failure.
+func (o *Observer) SpecFail(spec string, err error) {
+	if o == nil {
+		return
+	}
+	o.Progress.Fail(spec, err)
+}
+
+// ServeDebug starts the debug HTTP server on addr. At most one server
+// per observer; a second call is an error.
+func (o *Observer) ServeDebug(addr string) error {
+	if o == nil {
+		return errors.New("obs: ServeDebug on a nil Observer")
+	}
+	if o.server != nil {
+		return errors.New("obs: debug server already running")
+	}
+	srv, err := StartServer(addr, o.Registry, o.Progress, o.Events)
+	if err != nil {
+		return err
+	}
+	o.server = srv
+	return nil
+}
+
+// DebugAddr returns the debug server's bound address, or "".
+func (o *Observer) DebugAddr() string {
+	if o == nil {
+		return ""
+	}
+	return o.server.Addr()
+}
+
+// Close flushes the file exports (Chrome trace to TracePath, flight
+// recorder to EventsPath) and stops the debug server. It is safe on a
+// nil observer and safe to call once at tool exit.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	var errs []error
+	if o.TracePath != "" {
+		if err := writeFileWith(o.TracePath, func(f *os.File) error {
+			return WriteChromeTrace(f, o.Tracer.Events())
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("obs: writing trace: %w", err))
+		}
+	}
+	if o.EventsPath != "" {
+		if err := writeFileWith(o.EventsPath, func(f *os.File) error {
+			return o.Events.WriteJSONL(f)
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("obs: writing events: %w", err))
+		}
+	}
+	if o.server != nil {
+		if err := o.server.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: closing debug server: %w", err))
+		}
+		o.server = nil
+	}
+	return errors.Join(errs...)
+}
+
+// writeFileWith creates path, runs write, and keeps the first error
+// (including the close, which carries the flush).
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Pipeline stage names reported by the engine; /progress and the stderr
+// reporter render these verbatim.
+const (
+	StagePending = "pending" // spec registered, not yet scheduled
+	StageQueued  = "queued"  // waiting for a worker slot
+	StageAcquire = "acquire" // executing the application / reading the trace
+	StageReplay  = "replay"  // replaying through the mesh
+	StageAnalyze = "analyze" // statistical characterization
+	StageDone    = "done"    // artifact produced (Source says from where)
+	StageFailed  = "failed"  // spec produced no artifact
+)
+
+// A SpecState is the live view of one spec's progress through the
+// pipeline stages.
+type SpecState struct {
+	Spec string `json:"spec"`
+	// Stage is the current pipeline stage (see the Stage constants).
+	Stage string `json:"stage"`
+	// Source is set once done: run, memory, or disk.
+	Source string `json:"source,omitempty"`
+	// Err is set once failed.
+	Err string `json:"error,omitempty"`
+	// Since is when the spec entered its current stage.
+	Since time.Time `json:"since"`
+}
+
+// A Progress tracks per-spec stage states for a running sweep: the
+// engine updates it at every stage transition, the debug server's
+// /progress endpoint snapshots it, and an optional reporter prints
+// transitions to stderr for interactive runs. All methods are safe for
+// concurrent use and safe on a nil *Progress.
+type Progress struct {
+	mu       sync.Mutex
+	clock    Clock
+	order    []string
+	states   map[string]*SpecState
+	reporter io.Writer
+}
+
+// NewProgress returns an empty tracker (nil clock means System()).
+func NewProgress(clock Clock) *Progress {
+	if clock == nil {
+		clock = System()
+	}
+	return &Progress{clock: clock, states: map[string]*SpecState{}}
+}
+
+// SetReporter directs a one-line report of every stage transition to w
+// (the -progress stderr reporter). Pass nil to silence it.
+func (p *Progress) SetReporter(w io.Writer) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reporter = w
+	p.mu.Unlock()
+}
+
+// transition moves spec into stage, creating its state on first sight;
+// it reports the transition when a reporter is set and the stage
+// actually changed.
+func (p *Progress) transition(spec string, mutate func(*SpecState)) {
+	if p == nil {
+		return
+	}
+	now := p.clock.Now()
+	p.mu.Lock()
+	st, ok := p.states[spec]
+	if !ok {
+		st = &SpecState{Spec: spec, Stage: StagePending, Since: now}
+		p.states[spec] = st
+		p.order = append(p.order, spec)
+	}
+	before := st.Stage
+	mutate(st)
+	changed := st.Stage != before
+	if changed {
+		st.Since = now
+	}
+	w := p.reporter
+	var line string
+	if changed && w != nil {
+		done, failed, total := p.countsLocked()
+		line = fmt.Sprintf("progress: [%d/%d done", done, total)
+		if failed > 0 {
+			line += fmt.Sprintf(", %d failed", failed)
+		}
+		line += fmt.Sprintf("] %s %s", st.Spec, st.Stage)
+		if st.Source != "" {
+			line += " (" + st.Source + ")"
+		}
+		if st.Err != "" {
+			line += ": " + st.Err
+		}
+		line += "\n"
+	}
+	p.mu.Unlock()
+	if line != "" {
+		io.WriteString(w, line)
+	}
+}
+
+// countsLocked tallies terminal states; callers hold p.mu.
+func (p *Progress) countsLocked() (done, failed, total int) {
+	for _, st := range p.states {
+		switch st.Stage {
+		case StageDone:
+			done++
+		case StageFailed:
+			failed++
+		}
+	}
+	return done, failed, len(p.states)
+}
+
+// Update moves spec into a (non-terminal) stage.
+func (p *Progress) Update(spec, stage string) {
+	p.transition(spec, func(st *SpecState) { st.Stage = stage })
+}
+
+// Done marks spec complete, recording where the artifact came from.
+func (p *Progress) Done(spec, source string) {
+	p.transition(spec, func(st *SpecState) {
+		st.Stage = StageDone
+		st.Source = source
+		st.Err = ""
+	})
+}
+
+// Fail marks spec failed.
+func (p *Progress) Fail(spec string, err error) {
+	p.transition(spec, func(st *SpecState) {
+		st.Stage = StageFailed
+		if err != nil {
+			st.Err = err.Error()
+		}
+	})
+}
+
+// Snapshot returns the specs in first-seen order.
+func (p *Progress) Snapshot() []SpecState {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SpecState, 0, len(p.order))
+	for _, spec := range p.order {
+		out = append(out, *p.states[spec])
+	}
+	return out
+}
+
+// Counts reports done, failed, and total spec counts.
+func (p *Progress) Counts() (done, failed, total int) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.countsLocked()
+}

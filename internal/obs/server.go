@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// A Server is the opt-in debug HTTP endpoint (-debug-addr): it serves
+// Prometheus metrics, liveness, live sweep progress, the flight
+// recorder, and net/http/pprof profiling, without touching the tool's
+// stdout/stderr contract.
+//
+// Endpoints:
+//
+//	/healthz       liveness ("ok")
+//	/metrics       Prometheus text exposition of the Registry
+//	/varz          expvar-style JSON of the Registry
+//	/progress      per-spec pipeline stage states (JSON)
+//	/events        flight-recorder tail (JSON Lines)
+//	/debug/pprof/  CPU, heap, goroutine, ... profiles
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer listens on addr (host:port; port 0 picks a free port) and
+// serves the debug endpoints in a background goroutine. The registry,
+// progress tracker, and event log may each be nil; their endpoints then
+// serve empty documents.
+func StartServer(addr string, reg *Registry, prog *Progress, events *EventLog) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteExpvar(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		done, failed, total := prog.Counts()
+		doc := struct {
+			Done   int         `json:"done"`
+			Failed int         `json:"failed"`
+			Total  int         `json:"total"`
+			Specs  []SpecState `json:"specs"`
+		}{done, failed, total, prog.Snapshot()}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		events.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server immediately. A debug server holds no state
+// worth draining, so this is abrupt by design (and therefore needs no
+// caller context).
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

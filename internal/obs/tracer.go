@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// A TraceEvent is one renderable slice or instant on a timeline. Two
+// kinds of time flow through the same type: wall-clock engine spans
+// (recorded by a Tracer against its Clock) and simulated-time message
+// slices (converted from replay logs, sim nanoseconds mapped onto the
+// trace's microsecond axis). Process and Track name the Perfetto
+// process and thread rows the event renders on.
+type TraceEvent struct {
+	// ID is the deterministic per-tracer sequence number, assigned in
+	// recording order; it breaks ties when events share a timestamp.
+	ID int64
+	// Process groups tracks: "engine" for wall-clock pipeline spans,
+	// "sim <spec>" for a run's simulated-time message timeline.
+	Process string
+	// Track is the thread row within the process: a spec label for
+	// engine spans, "rank NN" for message timelines.
+	Track string
+	Name  string
+	Cat   string
+	// TS is the event start in microseconds on the trace's time axis.
+	TS float64
+	// Dur is the slice length in microseconds (0 for instants).
+	Dur float64
+	// Phase is the Chrome trace phase: 'X' complete slice, 'i' instant.
+	Phase byte
+	// Args are the key/value annotations shown in the trace viewer.
+	Args map[string]string
+}
+
+// A Tracer records spans and instants against an injected Clock. IDs
+// are a plain sequence, so under a fake clock and deterministic call
+// order the whole event stream — and any export of it — is reproducible
+// byte for byte. All methods are safe for concurrent use and safe on a
+// nil *Tracer (they become no-ops), so instrumented code needs no
+// "is tracing on" guards.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  Clock
+	epoch  time.Time
+	nextID int64
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer whose time axis starts at the clock's
+// current instant (a nil clock means System()).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = System()
+	}
+	return &Tracer{clock: clock, epoch: clock.Now()}
+}
+
+// micros converts an instant to microseconds since the tracer's epoch.
+func (t *Tracer) micros(at time.Time) float64 {
+	return float64(at.Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+// A Span is an in-progress slice started by StartSpan. End closes it
+// and commits it to the tracer. A nil *Span (from a nil tracer) accepts
+// every call as a no-op.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	ev    TraceEvent
+}
+
+// StartSpan opens a slice on the given process/track rows. The returned
+// span must be closed with End; arguments added in between travel with
+// the committed event.
+func (t *Tracer) StartSpan(process, track, cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, start: t.clock.Now(), ev: TraceEvent{
+		Process: process, Track: track, Cat: cat, Name: name, Phase: 'X',
+	}}
+}
+
+// SetArg attaches a key/value annotation to the span and returns the
+// span for chaining.
+func (s *Span) SetArg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.ev.Args == nil {
+		s.ev.Args = map[string]string{}
+	}
+	s.ev.Args[key] = value
+	return s
+}
+
+// End closes the span and commits it to the tracer, returning the
+// span's wall duration (zero on a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.t.clock.Now()
+	d := end.Sub(s.start)
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.ev.ID = s.t.nextID
+	s.t.nextID++
+	s.ev.TS = s.t.micros(s.start)
+	s.ev.Dur = float64(d) / float64(time.Microsecond)
+	s.t.events = append(s.t.events, s.ev)
+	return d
+}
+
+// Instant records a zero-duration event at the clock's current instant.
+func (t *Tracer) Instant(process, track, cat, name string, args map[string]string) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{
+		ID: t.nextID, Process: process, Track: track, Cat: cat, Name: name,
+		TS: t.micros(now), Phase: 'i', Args: args,
+	})
+	t.nextID++
+}
+
+// Add commits pre-built events — the simulated-time timelines, whose
+// timestamps come from sim cycles, not this tracer's clock. Each event
+// still receives a tracer sequence ID so exports order deterministically.
+func (t *Tracer) Add(events ...TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ev := range events {
+		ev.ID = t.nextID
+		t.nextID++
+		t.events = append(t.events, ev)
+	}
+}
+
+// Len reports the number of committed events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the committed events sorted by
+// (process, track, timestamp, ID) — the stable order the exporters
+// render in.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Process != out[j].Process {
+			return out[i].Process < out[j].Process
+		}
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

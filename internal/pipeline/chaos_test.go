@@ -25,7 +25,7 @@ func chaosEngine(t *testing.T, opts Options, behavior map[string]func(ctx contex
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.runStages = func(ctx context.Context, spec RunSpec) (*stageResult, error) {
+	e.runStages = func(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 		if fn := behavior[spec.App]; fn != nil {
 			return fn(ctx, spec)
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"commchar/internal/cli"
+	"commchar/internal/obs"
 )
 
 // Flags is the uniform pipeline flag set shared by every cmd/ tool:
@@ -41,7 +42,12 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 
 // Engine builds the engine the flags describe. The caller owns the
 // engine's Close (which releases the journal).
-func (f *Flags) Engine() (*Engine, error) {
+func (f *Flags) Engine() (*Engine, error) { return f.EngineObserved(nil) }
+
+// EngineObserved is Engine with an observer attached: stages are traced,
+// counters exported, progress tracked. A nil observer (observability
+// flags all off) is exactly Engine.
+func (f *Flags) EngineObserved(ob *obs.Observer) (*Engine, error) {
 	onError, err := ParseOnError(f.OnError)
 	if err != nil {
 		return nil, cli.Usagef("-on-error: %v", err)
@@ -68,6 +74,7 @@ func (f *Flags) Engine() (*Engine, error) {
 		OnError:     onError,
 		SpecTimeout: f.SpecTimeout,
 		Journal:     journal,
+		Obs:         ob,
 	})
 	if err != nil {
 		if journal != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"commchar/internal/obs"
 	"commchar/internal/report"
 )
 
@@ -86,3 +87,31 @@ func (m *Metrics) Summary() *report.Table {
 
 // Render writes the summary table.
 func (m *Metrics) Render(w io.Writer) { m.Summary().Render(w) }
+
+// RegisterWith exposes every counter through an obs registry under the
+// commchar_pipeline_* namespace (Prometheus on /metrics, JSON on /varz).
+// The registrations read the live atomics at scrape time, so one Metrics
+// shared by several engines exports one consistent view.
+func (m *Metrics) RegisterWith(r *obs.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc("commchar_pipeline_"+name, help, v.Load)
+	}
+	counter("runs_total", "simulations actually executed", &m.Runs)
+	counter("cache_hits_memory_total", "artifacts served from the in-memory cache", &m.MemoryHits)
+	counter("cache_hits_disk_total", "artifacts served from the on-disk cache", &m.DiskHits)
+	counter("dedup_hits_total", "callers that piggybacked on an identical in-flight run", &m.DedupHits)
+	counter("faulted_messages_total", "delivered messages touched by injected faults", &m.Faulted)
+	counter("failed_deliveries_total", "messages that were never delivered", &m.Failed)
+	counter("sim_events_total", "simulation events fired across executed runs", &m.SimEvents)
+	counter("sim_time_ns_total", "simulated time accumulated across executed runs", &m.SimTimeNS)
+	counter("acquire_ns_total", "wall time spent in the acquire stage", &m.AcquireNS)
+	counter("replay_ns_total", "wall time spent in the log (replay) stage", &m.ReplayNS)
+	counter("analyze_ns_total", "wall time spent in the analyze stage", &m.AnalyzeNS)
+	counter("disk_store_errors_total", "best-effort cache writes that failed", &m.DiskStoreErrors)
+	counter("retries_total", "extra stage executions after transient failures", &m.Retries)
+	counter("panics_total", "worker panics contained by the recovery boundary", &m.Panics)
+	counter("cancelled_total", "runs stopped by cancellation or a deadline", &m.Cancelled)
+	counter("spec_failures_total", "specs that produced no artifact", &m.SpecFailures)
+	counter("resumed_total", "journaled specs recognized as already complete", &m.Resumed)
+	counter("journal_errors_total", "best-effort journal appends that failed", &m.JournalErrors)
+}

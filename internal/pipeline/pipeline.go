@@ -42,7 +42,10 @@ import (
 	"commchar/internal/fault"
 	"commchar/internal/mesh"
 	"commchar/internal/mp"
+	"commchar/internal/obs"
+	"commchar/internal/report"
 	"commchar/internal/resilience"
+	"commchar/internal/sim"
 	"commchar/internal/sp2"
 	"commchar/internal/spasm"
 	"commchar/internal/trace"
@@ -114,6 +117,13 @@ type Options struct {
 	// (see OpenJournal); resumed keys served from the disk cache count
 	// as resumed work in the metrics.
 	Journal *Journal
+	// Obs, when non-nil, observes the engine: every stage is traced as a
+	// span, the metrics counters are exported through the observer's
+	// registry, per-spec progress is tracked, and completed runs
+	// contribute their simulated-time message timelines to the Chrome
+	// trace. Nil (the default) observes nothing and costs nothing — a
+	// traced run's artifacts are byte-identical to an untraced run's.
+	Obs *obs.Observer
 }
 
 // Engine runs specs through the stages with caching, deduplication, and a
@@ -129,12 +139,26 @@ type Engine struct {
 	specTimeout time.Duration
 	journal     *Journal
 
+	// obs observes the engine (nil: no observation); clock is the
+	// engine's only wall-clock source — obs.System() untraced, a fake in
+	// deterministic tests.
+	obs   *obs.Observer
+	clock obs.Clock
+	// Stage-latency histograms and live-simulation gauges, registered on
+	// the observer's registry (nil without an observer; all methods on
+	// them are nil-safe no-ops).
+	histAcquire *obs.Histogram
+	histReplay  *obs.Histogram
+	histAnalyze *obs.Histogram
+	simClock    *obs.Gauge
+	simEvents   *obs.Gauge
+
 	mu       sync.Mutex
 	mem      map[string]*Artifact
 	inflight map[string]*call
 
 	// runStages is the acquisition seam; tests substitute synthetic runs.
-	runStages func(ctx context.Context, spec RunSpec) (*stageResult, error)
+	runStages func(ctx context.Context, spec RunSpec, track string) (*stageResult, error)
 }
 
 type call struct {
@@ -171,11 +195,49 @@ func newEngine(opts Options) *Engine {
 		retry:       retry,
 		specTimeout: opts.SpecTimeout,
 		journal:     opts.Journal,
+		obs:         opts.Obs,
+		clock:       opts.Obs.ClockOrSystem(),
 		mem:         map[string]*Artifact{},
 		inflight:    map[string]*call{},
 	}
+	if opts.Obs != nil {
+		r := opts.Obs.Registry
+		metrics.RegisterWith(r)
+		e.histAcquire = r.Histogram("commchar_pipeline_acquire_seconds",
+			"wall time of the acquire stage per executed run", nil)
+		e.histReplay = r.Histogram("commchar_pipeline_replay_seconds",
+			"wall time of the log (trace replay) stage per executed run", nil)
+		e.histAnalyze = r.Histogram("commchar_pipeline_analyze_seconds",
+			"wall time of the analyze stage per executed run", nil)
+		e.simClock = r.Gauge("commchar_sim_clock_ns",
+			"most recently reported simulated clock (ns) of an in-flight run")
+		e.simEvents = r.Gauge("commchar_sim_events_fired",
+			"most recently reported cumulative event count of an in-flight run")
+	}
 	e.runStages = e.acquire
 	return e
+}
+
+// simProgressInterval spaces the live simulator progress reports: once per
+// 64Ki fired events is visible on any long replay and free on short ones.
+const simProgressInterval = 1 << 16
+
+// simProgress is the sim.ProgressFunc behind the live gauges. With
+// parallel runs the gauges show whichever run reported last — a liveness
+// peek, not an aggregate (the aggregates are the counters).
+func (e *Engine) simProgress(now sim.Time, fired int64) {
+	e.simClock.Set(float64(now))
+	e.simEvents.Set(float64(fired))
+}
+
+// trackName names a spec's trace track and progress row: the human label
+// plus a cache-key prefix, so distinct configurations of one application
+// stay distinct.
+func trackName(spec RunSpec, key string) string {
+	if len(key) > 8 {
+		key = key[:8]
+	}
+	return spec.label() + "#" + key
 }
 
 // New builds an engine. It fails only if the cache directory cannot be
@@ -237,16 +299,20 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (*Artifact, error
 		e.metrics.Cancelled.Add(1)
 		return nil, err
 	}
+	track := trackName(spec, key)
 
 	e.mu.Lock()
 	if a := e.mem[key]; a != nil {
 		e.mu.Unlock()
 		e.metrics.MemoryHits.Add(1)
+		e.obs.Instant("engine", track, "cache", "memory-hit", nil)
+		e.obs.SpecDone(track, string(SourceMemory))
 		return a, nil
 	}
 	if c := e.inflight[key]; c != nil {
 		e.mu.Unlock()
 		e.metrics.DedupHits.Add(1)
+		e.obs.Instant("engine", track, "cache", "dedup-join", nil)
 		select {
 		case <-c.done:
 			return c.art, c.err
@@ -259,7 +325,7 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (*Artifact, error
 	e.inflight[key] = c
 	e.mu.Unlock()
 
-	art, runErr := e.execute(ctx, spec, key)
+	art, runErr := e.execute(ctx, spec, key, track)
 
 	e.mu.Lock()
 	delete(e.inflight, key)
@@ -274,7 +340,23 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (*Artifact, error
 		// failed append only costs a re-check on resume.
 		if jerr := e.journal.Append(key); jerr != nil {
 			e.metrics.JournalErrors.Add(1)
+			e.obs.Emit("journal.append.error", map[string]string{"spec": track, "err": jerr.Error()})
+		} else {
+			e.obs.Emit("journal.append", map[string]string{"spec": track, "key": key})
 		}
+	}
+
+	if runErr == nil {
+		e.obs.SpecDone(track, string(art.Source))
+		e.obs.Emit("spec.done", map[string]string{"spec": track, "source": string(art.Source)})
+		if e.obs != nil && art.C != nil {
+			// Export the run's simulated-time message timeline into the
+			// Chrome trace (built only when tracing — the conversion is
+			// not free on huge logs).
+			e.obs.AddTraceEvents(report.TimelineEvents(track, art.C.Log)...)
+		}
+	} else {
+		e.obs.SpecFail(track, runErr)
 	}
 
 	c.art, c.err = art, runErr
@@ -373,20 +455,30 @@ func jitterSeed(key string) uint64 {
 // applying the resilience layer: worker-slot acquisition and the stages
 // are cancellable, the run is bounded by the per-spec deadline, panics
 // are contained, and transient failures retry with backoff.
-func (e *Engine) execute(ctx context.Context, spec RunSpec, key string) (*Artifact, error) {
+func (e *Engine) execute(ctx context.Context, spec RunSpec, key, track string) (*Artifact, error) {
 	if e.disk != nil {
-		if art, ok := e.disk.load(key, spec); ok {
+		lsp := e.obs.StartSpan("engine", track, "cache", "disk-lookup")
+		art, ok := e.disk.load(key, spec)
+		lsp.End()
+		if ok {
 			e.metrics.DiskHits.Add(1)
+			e.obs.Instant("engine", track, "cache", "disk-hit", nil)
+			e.obs.Emit("cache.hit", map[string]string{"spec": track, "level": "disk"})
 			if e.journal != nil && e.journal.Done(key) {
 				e.metrics.Resumed.Add(1)
+				e.obs.Emit("journal.resumed", map[string]string{"spec": track})
 			}
 			return art, nil
 		}
 	}
 
+	e.obs.SpecStage(track, obs.StageQueued)
+	qsp := e.obs.StartSpan("engine", track, "queue", "queued")
 	select {
 	case e.sem <- struct{}{}:
+		qsp.End()
 	case <-ctx.Done():
+		qsp.End()
 		e.metrics.Cancelled.Add(1)
 		e.metrics.SpecFailures.Add(1)
 		return nil, &SpecError{Spec: spec, Key: key, Err: ctx.Err()}
@@ -404,10 +496,11 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key string) (*Artifa
 		defer cancelTimeout()
 	}
 
+	rsp := e.obs.StartSpan("engine", track, "run", "run "+spec.label()).SetArg("key", key)
 	var art *Artifact
 	attempts, err := e.retry.Do(runCtx, jitterSeed(key), func() error {
 		return resilience.Protect(func() error {
-			a, rerr := e.runOnce(runCtx, spec, key)
+			a, rerr := e.runOnce(runCtx, spec, key, track)
 			if rerr != nil {
 				return rerr
 			}
@@ -415,8 +508,11 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key string) (*Artifa
 			return nil
 		})
 	})
+	rsp.SetArg("attempts", strconv.Itoa(attempts)).End()
 	if attempts > 1 {
 		e.metrics.Retries.Add(int64(attempts - 1))
+		e.obs.Emit("retry", map[string]string{"spec": track, "attempts": strconv.Itoa(attempts)})
+		e.obs.Instant("engine", track, "run", "retried", map[string]string{"attempts": strconv.Itoa(attempts)})
 	}
 	if err != nil {
 		var pe *resilience.PanicError
@@ -427,20 +523,25 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key string) (*Artifa
 			e.metrics.Cancelled.Add(1)
 		}
 		e.metrics.SpecFailures.Add(1)
+		e.obs.Emit("spec.failed", map[string]string{"spec": track, "err": err.Error()})
 		return nil, &SpecError{Spec: spec, Key: key, Attempts: attempts, Err: err}
 	}
 
 	if e.disk != nil {
-		if err := e.disk.store(key, art); err != nil {
+		ssp := e.obs.StartSpan("engine", track, "cache", "disk-store")
+		serr := e.disk.store(key, art)
+		ssp.End()
+		if serr != nil {
 			e.metrics.DiskStoreErrors.Add(1)
+			e.obs.Emit("cache.store.error", map[string]string{"spec": track, "err": serr.Error()})
 		}
 	}
 	return art, nil
 }
 
 // runOnce executes the stages and the analysis exactly once.
-func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key string) (*Artifact, error) {
-	res, err := e.runStages(ctx, spec)
+func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (*Artifact, error) {
+	res, err := e.runStages(ctx, spec, track)
 	if err != nil {
 		return nil, err
 	}
@@ -449,9 +550,14 @@ func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key string) (*Artifa
 	if res.raw.Trace == nil {
 		strategy = core.StrategyDynamic
 	}
-	start := time.Now()
+	e.obs.SpecStage(track, obs.StageAnalyze)
+	asp := e.obs.StartSpan("engine", track, "stage", "analyze")
+	start := e.clock.Now()
 	c, err := res.raw.Characterize(spec.label(), strategy)
-	e.metrics.AnalyzeNS.Add(int64(time.Since(start)))
+	analyze := e.clock.Now().Sub(start)
+	asp.End()
+	e.metrics.AnalyzeNS.Add(int64(analyze))
+	e.histAnalyze.Observe(analyze.Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -514,24 +620,24 @@ func (e *Engine) faultSchedule(spec RunSpec) (*fault.Schedule, error) {
 
 // acquire is the real acquisition path: run the application (or replay the
 // given trace) and collect the raw network log.
-func (e *Engine) acquire(ctx context.Context, spec RunSpec) (*stageResult, error) {
+func (e *Engine) acquire(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 	if spec.Trace != nil {
-		return e.acquireReplay(ctx, spec)
+		return e.acquireReplay(ctx, spec, track)
 	}
 	wl, err := apps.ByName(spec.Scale, spec.App)
 	if err != nil {
 		return nil, err
 	}
 	if wl.Strategy == core.StrategyDynamic {
-		return e.acquireDynamic(ctx, spec)
+		return e.acquireDynamic(ctx, spec, track)
 	}
-	return e.acquireStatic(ctx, spec)
+	return e.acquireStatic(ctx, spec, track)
 }
 
 // acquireDynamic executes a shared-memory application on a machine built
 // from the spec (execution-driven strategy). The context reaches the
 // machine's simulator, so the kernel is killable mid-execution.
-func (e *Engine) acquireDynamic(ctx context.Context, spec RunSpec) (*stageResult, error) {
+func (e *Engine) acquireDynamic(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 	cfg := spasm.DefaultConfig(spec.Procs)
 	cfg.Mesh = e.meshConfig(spec)
 	cfg.Barrier = spec.Barrier
@@ -547,11 +653,19 @@ func (e *Engine) acquireDynamic(ctx context.Context, spec RunSpec) (*stageResult
 	if sched != nil {
 		m.Net.SetFaults(sched)
 	}
-	start := time.Now()
+	if e.obs != nil {
+		m.Sim.SetProgress(simProgressInterval, e.simProgress)
+	}
+	e.obs.SpecStage(track, obs.StageAcquire)
+	sp := e.obs.StartSpan("engine", track, "stage", "acquire")
+	start := e.clock.Now()
 	raw, err := core.AcquireSharedMemoryOnContext(ctx, m, func(m *spasm.Machine) error {
 		return apps.RunSharedMemoryOn(m, spec.Scale, spec.App)
 	})
-	e.metrics.AcquireNS.Add(int64(time.Since(start)))
+	acquire := e.clock.Now().Sub(start)
+	sp.End()
+	e.metrics.AcquireNS.Add(int64(acquire))
+	e.histAcquire.Observe(acquire.Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -569,31 +683,36 @@ func (e *Engine) acquireDynamic(ctx context.Context, spec RunSpec) (*stageResult
 // strategy). The native execution is not cancellable (it is direct Go
 // code, not a simulation); the replay — where the simulated time goes —
 // is.
-func (e *Engine) acquireStatic(ctx context.Context, spec RunSpec) (*stageResult, error) {
-	start := time.Now()
+func (e *Engine) acquireStatic(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
+	e.obs.SpecStage(track, obs.StageAcquire)
+	sp := e.obs.StartSpan("engine", track, "stage", "acquire")
+	start := e.clock.Now()
 	tr, err := core.AcquireMessagePassing(spec.Procs, func(w *mp.World) error {
 		return apps.RunMessagePassingOn(w, spec.Scale, spec.App, spec.Procs)
 	})
-	e.metrics.AcquireNS.Add(int64(time.Since(start)))
+	acquire := e.clock.Now().Sub(start)
+	sp.End()
+	e.metrics.AcquireNS.Add(int64(acquire))
+	e.histAcquire.Observe(acquire.Seconds())
 	if err != nil {
 		return nil, err
 	}
-	return e.replay(ctx, spec, tr, sp2.Default())
+	return e.replay(ctx, spec, track, tr, sp2.Default())
 }
 
 // acquireReplay is the acquisition path of an externally supplied trace
 // (meshsim): the acquire stage is the trace itself; only the log stage
 // runs.
-func (e *Engine) acquireReplay(ctx context.Context, spec RunSpec) (*stageResult, error) {
+func (e *Engine) acquireReplay(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 	var cost trace.CostModel
 	if spec.UseSP2 {
 		cost = sp2.Default()
 	}
-	return e.replay(ctx, spec, spec.Trace, cost)
+	return e.replay(ctx, spec, track, spec.Trace, cost)
 }
 
 // replay is the shared log stage: drive the trace through the mesh.
-func (e *Engine) replay(ctx context.Context, spec RunSpec, tr *trace.Trace, cost trace.CostModel) (*stageResult, error) {
+func (e *Engine) replay(ctx context.Context, spec RunSpec, track string, tr *trace.Trace, cost trace.CostModel) (*stageResult, error) {
 	sched, err := e.faultSchedule(spec)
 	if err != nil {
 		return nil, err
@@ -602,9 +721,19 @@ func (e *Engine) replay(ctx context.Context, spec RunSpec, tr *trace.Trace, cost
 	if sched != nil {
 		inj = sched
 	}
-	start := time.Now()
-	raw, err := core.ReplayTraceContext(ctx, tr, e.meshConfig(spec), cost, inj, spec.Watchdog)
-	e.metrics.ReplayNS.Add(int64(time.Since(start)))
+	var hook sim.ProgressFunc
+	var every int64
+	if e.obs != nil {
+		hook, every = e.simProgress, simProgressInterval
+	}
+	e.obs.SpecStage(track, obs.StageReplay)
+	sp := e.obs.StartSpan("engine", track, "stage", "replay")
+	start := e.clock.Now()
+	raw, err := core.ReplayTraceObserved(ctx, tr, e.meshConfig(spec), cost, inj, spec.Watchdog, every, hook)
+	replay := e.clock.Now().Sub(start)
+	sp.End()
+	e.metrics.ReplayNS.Add(int64(replay))
+	e.histReplay.Observe(replay.Seconds())
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,7 @@ func stubEngine(t *testing.T, opts Options) (*Engine, *int) {
 	}
 	calls := 0
 	var mu sync.Mutex
-	e.runStages = func(ctx context.Context, spec RunSpec) (*stageResult, error) {
+	e.runStages = func(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -181,7 +181,7 @@ func TestConcurrentIdenticalSpecsDeduplicate(t *testing.T) {
 	release := make(chan struct{})
 	calls := 0
 	var mu sync.Mutex
-	e.runStages = func(ctx context.Context, spec RunSpec) (*stageResult, error) {
+	e.runStages = func(ctx context.Context, spec RunSpec, track string) (*stageResult, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()

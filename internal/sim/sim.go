@@ -97,6 +97,27 @@ type Simulator struct {
 	// ctx, when set, makes the run loops cooperatively cancellable: Run and
 	// RunChecked poll it periodically and stop early once it is done.
 	ctx context.Context
+
+	// progress, when set, is called every progressEvery fired events — an
+	// observation seam for live monitoring of long replays. The hook runs
+	// between events and receives values only, so it cannot perturb the
+	// simulation.
+	progress      ProgressFunc
+	progressEvery int64
+}
+
+// ProgressFunc observes a running simulation: the current simulated time
+// and the cumulative events fired so far.
+type ProgressFunc func(now Time, fired int64)
+
+// SetProgress installs fn to be called every interval fired events.
+// A nil fn or non-positive interval removes the hook.
+func (s *Simulator) SetProgress(interval int64, fn ProgressFunc) {
+	if fn == nil || interval <= 0 {
+		s.progress, s.progressEvery = nil, 0
+		return
+	}
+	s.progress, s.progressEvery = fn, interval
 }
 
 type diagnosticSource struct {
@@ -176,6 +197,9 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
+		if s.progress != nil && s.fired%s.progressEvery == 0 {
+			s.progress(s.now, s.fired)
+		}
 		e.fn()
 		return true
 	}
