@@ -15,6 +15,7 @@
 //	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv] [-cache-dir .cache]
 //	characterize -app 3D-FFT -app-trace-out t.csv   (static strategy: export the app trace)
 //	characterize -app IS -trace-out run.trace.json -debug-addr :8080   (observability)
+//	characterize -app IS -workers http://w1:7801,http://w2:7802   (run on a sweepd fleet)
 //	characterize -list
 package main
 
@@ -23,10 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/dist"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
@@ -44,6 +50,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logOut := fs.String("log", "", "write the raw network log (CSV) to this file")
 	traceOut := fs.String("app-trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
+	workers := fs.String("workers", "", "comma-separated sweepd worker control URLs: run remotely on this fleet")
+	distListen := fs.String("dist-listen", "127.0.0.1:0", "address to serve the coordinator lease API on (with -workers)")
+	distAdvertise := fs.String("dist-advertise", "", "coordinator URL advertised to the workers (default: the bound -dist-listen address)")
 	pf := pipeline.AddFlags(fs)
 	of := obs.AddFlags(fs)
 	cf := cli.AddCommonFlags(fs)
@@ -78,6 +87,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer ob.Close()
+	if *workers != "" {
+		// Client mode: serve a coordinator for the fleet and route the
+		// run's cache miss (if any) through it. The report is identical to
+		// a local run by the determinism invariant.
+		coord := dist.NewCoordinator(dist.CoordinatorOptions{Obs: ob})
+		ln, err := net.Listen("tcp", *distListen)
+		if err != nil {
+			return fmt.Errorf("coordinator listener: %w", err)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		coord.Start(ctx)
+		if ob != nil {
+			coord.Metrics().RegisterWith(ob.Registry)
+		}
+		ob.HandleDebug("/distz", coord.DebugHandler())
+		coordURL := *distAdvertise
+		if coordURL == "" {
+			coordURL = "http://" + ln.Addr().String()
+		}
+		for _, wu := range strings.Split(*workers, ",") {
+			if wu = strings.TrimSpace(wu); wu == "" {
+				continue
+			}
+			if err := dist.Attach(ctx, wu, coordURL); err != nil {
+				return err
+			}
+		}
+		pf.Remote = coord
+		// On the way out (server still up: defers run inside-out), dismiss
+		// the fleet so workers detach instead of waiting out their
+		// unreachable grace against a dead address.
+		defer func() {
+			coord.Finish()
+			coord.Drain(ctx, 5*time.Second)
+		}()
+	}
 	eng, err := pf.EngineObserved(ob)
 	if err != nil {
 		return err

@@ -1,0 +1,287 @@
+// Command sweepd is the fault-tolerant distributed sweep service: one
+// process per role of the internal/dist lease protocol.
+//
+// In -coordinator mode it enqueues a characterization sweep (apps ×
+// processor counts), serves the lease API to workers, renders each
+// run's report on stdout in spec order, and exits. The engine's cache,
+// journal, and -resume semantics apply to distributed runs unchanged,
+// so a coordinator killed mid-sweep restarts with -resume and only the
+// unfinished specs go back to the fleet. With -local the same sweep
+// runs in-process instead — the reference output a distributed run must
+// match byte for byte.
+//
+// In -worker mode it executes leased specs through its own pipeline
+// engine (own cache directory, own parallelism) and streams artifacts
+// back. A worker is stateless: killing one costs only its in-flight
+// lease, which the coordinator re-enqueues on expiry.
+//
+// Usage:
+//
+//	sweepd -coordinator -listen 127.0.0.1:7701 -apps IS,MG -procs 4,16 -scale small \
+//	       -cache-dir .cache/coord -journal sweep.journal [-resume]
+//	sweepd -worker -join http://127.0.0.1:7701 -cache-dir .cache/w1
+//	sweepd -worker -listen 127.0.0.1:7801 -cache-dir .cache/w1   (wait for /v1/attach)
+//	sweepd -coordinator -local ...                               (reference run, no fleet)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"commchar/internal/apps"
+	"commchar/internal/cli"
+	"commchar/internal/dist"
+	"commchar/internal/obs"
+	"commchar/internal/pipeline"
+	"commchar/internal/report"
+)
+
+func main() { cli.Main("sweepd", run) }
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordinator := fs.Bool("coordinator", false, "run the sweep coordinator")
+	worker := fs.Bool("worker", false, "run a sweep worker")
+	listen := fs.String("listen", "", "address to serve the role's HTTP API on (coordinator: lease API; worker: control API)")
+	appsFlag := fs.String("apps", "", "comma-separated application names to sweep (default: the whole suite)")
+	procsFlag := fs.String("procs", "16", "comma-separated processor counts to sweep")
+	scale := fs.String("scale", "full", "problem scale: full or small")
+	lease := fs.Duration("lease", 15*time.Second, "lease duration before unfinished work is re-enqueued")
+	maxAttempts := fs.Int("max-attempts", 5, "lease grants per spec before the coordinator fails it permanently")
+	workers := fs.String("workers", "", "comma-separated worker control URLs to attach at startup (coordinator mode)")
+	advertise := fs.String("advertise", "", "coordinator URL advertised to attached workers (default: the bound -listen address)")
+	local := fs.Bool("local", false, "run the sweep in-process instead of distributing: the reference a distributed run must match")
+	name := fs.String("name", "", "worker name reported in leases and lost-worker events (default: host-pid)")
+	join := fs.String("join", "", "coordinator URL to poll until its sweep completes (worker mode)")
+	pf := pipeline.AddFlags(fs)
+	of := obs.AddFlags(fs)
+	cf := cli.AddCommonFlags(fs)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cli.VersionString())
+		return nil
+	}
+	if *coordinator == *worker {
+		return cli.Usagef("exactly one of -coordinator or -worker required")
+	}
+
+	ob, err := of.Observer(stderr)
+	if err != nil {
+		return err
+	}
+	defer ob.Close()
+
+	if *worker {
+		return runWorker(ctx, workerConfig{
+			listen: *listen, name: *name, join: *join,
+			lease: *lease, pf: pf, cf: cf,
+		}, ob, stdout, stderr)
+	}
+	return runCoordinator(ctx, coordinatorConfig{
+		listen: *listen, apps: *appsFlag, procs: *procsFlag, scale: *scale,
+		lease: *lease, maxAttempts: *maxAttempts, workers: *workers,
+		advertise: *advertise, local: *local, pf: pf, cf: cf,
+	}, ob, stdout, stderr)
+}
+
+type coordinatorConfig struct {
+	listen      string
+	apps        string
+	procs       string
+	scale       string
+	lease       time.Duration
+	maxAttempts int
+	workers     string
+	advertise   string
+	local       bool
+	pf          *pipeline.Flags
+	cf          *cli.CommonFlags
+}
+
+func runCoordinator(ctx context.Context, cfg coordinatorConfig, ob *obs.Observer, stdout, stderr io.Writer) error {
+	specs, err := sweepSpecs(cfg.apps, cfg.procs, cfg.scale)
+	if err != nil {
+		return err
+	}
+
+	var coord *dist.Coordinator
+	if !cfg.local {
+		coord = dist.NewCoordinator(dist.CoordinatorOptions{
+			Lease:       cfg.lease,
+			MaxAttempts: cfg.maxAttempts,
+			Obs:         ob,
+		})
+		addr := cfg.listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("coordinator listener: %w", err)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		coord.Start(ctx)
+		if ob != nil {
+			coord.Metrics().RegisterWith(ob.Registry)
+		}
+		ob.HandleDebug("/distz", coord.DebugHandler())
+
+		coordURL := cfg.advertise
+		if coordURL == "" {
+			coordURL = "http://" + ln.Addr().String()
+		}
+		fmt.Fprintf(stderr, "coordinator listening on %s (%d specs)\n", coordURL, len(specs))
+		for _, wu := range splitList(cfg.workers) {
+			if err := dist.Attach(ctx, wu, coordURL); err != nil {
+				return err
+			}
+		}
+		cfg.pf.Remote = coord
+	}
+
+	eng, err := cfg.pf.EngineObserved(ob)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if cfg.cf.Metrics {
+		defer eng.Metrics().Render(stderr)
+	}
+
+	arts, runErr := eng.RunAllContext(ctx, specs...)
+	// Render whatever completed, in spec order, before reporting the
+	// failures: a degraded sweep still carries its finished reports.
+	for i, art := range arts {
+		if art == nil {
+			continue
+		}
+		fmt.Fprintf(stdout, "==> %s\n", specs[i].Label())
+		report.Render(stdout, art.C)
+	}
+	if coord != nil {
+		// Dismiss the fleet before the lease API goes away: workers poll
+		// StatusDone and detach cleanly instead of waiting out their
+		// unreachable grace against a dead address.
+		coord.Finish()
+		coord.Drain(ctx, cfg.lease)
+	}
+	return runErr
+}
+
+type workerConfig struct {
+	listen string
+	name   string
+	join   string
+	lease  time.Duration
+	pf     *pipeline.Flags
+	cf     *cli.CommonFlags
+}
+
+func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, stderr io.Writer) error {
+	if cfg.join == "" && cfg.listen == "" {
+		return cli.Usagef("worker mode needs -join (poll a coordinator) or -listen (wait for /v1/attach)")
+	}
+	name := cfg.name
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	eng, err := cfg.pf.EngineObserved(ob)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if cfg.cf.Metrics {
+		defer eng.Metrics().Render(stderr)
+	}
+
+	w, err := dist.NewWorker(dist.WorkerOptions{Name: name, Runner: eng, Obs: ob})
+	if err != nil {
+		return err
+	}
+	if cfg.listen != "" {
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			return fmt.Errorf("worker listener: %w", err)
+		}
+		srv := &http.Server{Handler: w.ControlHandler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "worker %s control API on http://%s\n", name, ln.Addr().String())
+	}
+	if cfg.join != "" {
+		// Serve this one coordinator until its sweep completes. A
+		// coordinator restarting around its journal answers again within
+		// the unreachable grace, so the poll survives it.
+		return w.Poll(ctx, cfg.join)
+	}
+	// Serve attach requests until interrupted (exit 130, the
+	// interrupted-run convention).
+	return w.Run(ctx)
+}
+
+// sweepSpecs expands the -apps/-procs/-scale cross product into specs,
+// in the stable apps-major order the reports are rendered in.
+func sweepSpecs(appsList, procsList, scale string) ([]pipeline.RunSpec, error) {
+	sc := apps.ScaleFull
+	if scale == "small" {
+		sc = apps.ScaleSmall
+	}
+	names := splitList(appsList)
+	if len(names) == 0 {
+		for _, w := range apps.Suite(sc) {
+			names = append(names, w.Name)
+		}
+	}
+	for _, n := range names {
+		if _, err := apps.ByName(sc, n); err != nil {
+			return nil, cli.Usagef("%v", err)
+		}
+	}
+	var procs []int
+	for _, p := range splitList(procsList) {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, cli.Usagef("-procs: %q is not a positive processor count", p)
+		}
+		procs = append(procs, v)
+	}
+	if len(procs) == 0 {
+		return nil, cli.Usagef("-procs: at least one processor count required")
+	}
+	var specs []pipeline.RunSpec
+	for _, n := range names {
+		for _, p := range procs {
+			specs = append(specs, pipeline.RunSpec{App: n, Procs: p, Scale: sc})
+		}
+	}
+	return specs, nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

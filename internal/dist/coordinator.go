@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"commchar/internal/obs"
+	"commchar/internal/pipeline"
+)
+
+// Item states in the coordinator's queue.
+const (
+	statePending = "pending" // enqueued, waiting for a worker
+	stateLeased  = "leased"  // held by a worker under a live lease
+	stateDone    = "done"    // artifact accepted
+	stateFailed  = "failed"  // permanently failed (or abandoned by its submitter)
+)
+
+// item is one unit of distributed work: a RunSpec the engine asked the
+// coordinator to execute remotely.
+type item struct {
+	id       uint64
+	spec     pipeline.RunSpec
+	specJSON json.RawMessage
+	key      string
+	label    string
+
+	state    string
+	worker   string    // lease holder while leased
+	deadline time.Time // lease expiry while leased
+	stage    string    // last heartbeat-reported pipeline stage
+	attempts int       // leases granted for this item
+
+	done chan struct{} // closed exactly once on done or failed
+	art  *pipeline.Artifact
+	err  error
+}
+
+// CoordinatorOptions configures a Coordinator. The zero value works.
+type CoordinatorOptions struct {
+	// Lease is how long a worker may hold a spec between heartbeats
+	// before the work is re-enqueued. Default 15s.
+	Lease time.Duration
+	// MaxAttempts bounds how many leases one spec may consume (initial
+	// grant plus re-grants after expiry or transient worker failure)
+	// before the coordinator fails it permanently. Default 5.
+	MaxAttempts int
+	// Obs receives lease-lifecycle events and spans; nil is a no-op.
+	Obs *obs.Observer
+	// Metrics receives the commchar_dist_* counters; nil allocates a
+	// private set.
+	Metrics *Metrics
+}
+
+// A Coordinator owns the distributed work queue: it implements
+// pipeline.Executor on the submission side (the engine calls Execute for
+// every cache-miss spec) and serves the worker-facing HTTP API on the
+// other (Handler). Work is handed out as time-bounded leases; an expired
+// lease is re-enqueued, so a crashed or hung worker never strands a
+// spec. Completions are deduplicated on the spec's content-addressed
+// cache key: whichever worker delivers first wins, later deliveries are
+// acknowledged as duplicates and discarded.
+type Coordinator struct {
+	lease       time.Duration
+	maxAttempts int
+	ob          *obs.Observer
+	metrics     *Metrics
+
+	mu        sync.Mutex
+	nextID    uint64
+	items     map[uint64]*item
+	queue     []uint64 // FIFO of item ids; entries may be stale (lazy skip)
+	finished  bool
+	lost      map[string]bool // workers currently presumed lost
+	seen      map[string]bool // workers that have ever polled for a lease
+	dismissed map[string]bool // workers answered StatusDone since Finish
+}
+
+// NewCoordinator builds a coordinator. Call Start to run lease expiry,
+// mount Handler on a listener for workers, and hand the coordinator to
+// the engine as its pipeline.Executor.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.Lease <= 0 {
+		opts.Lease = 15 * time.Second
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = &Metrics{}
+	}
+	return &Coordinator{
+		lease:       opts.Lease,
+		maxAttempts: opts.MaxAttempts,
+		ob:          opts.Obs,
+		metrics:     opts.Metrics,
+		items:       map[uint64]*item{},
+		lost:        map[string]bool{},
+		seen:        map[string]bool{},
+		dismissed:   map[string]bool{},
+	}
+}
+
+// Metrics returns the coordinator's counter set (for registration on a
+// debug server's registry).
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Start runs the lease-expiry sweep until ctx is cancelled. Leases are
+// checked at a quarter of the lease interval, so an expired lease is
+// re-enqueued at most 1.25 lease durations after its last heartbeat.
+func (c *Coordinator) Start(ctx context.Context) {
+	go func() {
+		tick := time.NewTicker(c.lease / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				c.expire(time.Now())
+			}
+		}
+	}()
+}
+
+// Execute implements pipeline.Executor: it enqueues spec for the worker
+// fleet and blocks until a worker delivers the artifact, the spec fails
+// permanently, or ctx is cancelled. The engine's caching, journalling,
+// and retry semantics wrap this call unchanged.
+func (c *Coordinator) Execute(ctx context.Context, spec pipeline.RunSpec, key string) (*pipeline.Artifact, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding spec for transport: %w", err)
+	}
+	it := &item{
+		spec:     spec,
+		specJSON: specJSON,
+		key:      key,
+		label:    spec.Label(),
+		state:    statePending,
+		done:     make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.nextID++
+	it.id = c.nextID
+	c.items[it.id] = it
+	c.queue = append(c.queue, it.id)
+	c.mu.Unlock()
+	c.metrics.Enqueued.Add(1)
+	c.emit("dist.enqueued", map[string]string{"spec": it.label, "key": key})
+
+	select {
+	case <-it.done:
+		return it.art, it.err
+	case <-ctx.Done():
+		c.abandon(it, ctx.Err())
+		return nil, ctx.Err()
+	}
+}
+
+// Finish marks the sweep complete: subsequent lease requests answer
+// StatusDone, dismissing pollers. Call it after the last Execute has
+// returned.
+func (c *Coordinator) Finish() {
+	c.mu.Lock()
+	c.finished = true
+	c.mu.Unlock()
+}
+
+// abandon fails it on behalf of its submitter (context cancellation). A
+// completion that races in first wins; a later one is a duplicate.
+func (c *Coordinator) abandon(it *item, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it.state == stateDone || it.state == stateFailed {
+		return
+	}
+	it.state = stateFailed
+	it.err = err
+	close(it.done)
+}
+
+// expire re-enqueues every leased item whose deadline has passed. The
+// expiry is an event, not a failure: the work moves to another worker,
+// unless the spec has exhausted its attempt budget.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Collect-then-sort before requeueing: map iteration order must not
+	// decide which expired spec re-runs first.
+	var expiredIDs []uint64
+	for id, it := range c.items {
+		if it.state == stateLeased && !now.Before(it.deadline) {
+			expiredIDs = append(expiredIDs, id)
+		}
+	}
+	slices.Sort(expiredIDs)
+	for _, id := range expiredIDs {
+		it := c.items[id]
+		worker := it.worker
+		c.metrics.LeaseExpiries.Add(1)
+		c.emit("dist.lease.expired", map[string]string{
+			"spec": it.label, "key": it.key, "worker": worker,
+			"attempt": strconv.Itoa(it.attempts),
+		})
+		if !c.lost[worker] {
+			c.lost[worker] = true
+			c.metrics.WorkersLost.Add(1)
+			c.emit("dist.worker.lost", map[string]string{"worker": worker})
+		}
+		if it.attempts >= c.maxAttempts {
+			it.state = stateFailed
+			it.err = fmt.Errorf("dist: spec %s: lease expired on attempt %d/%d (last worker %s)",
+				it.label, it.attempts, c.maxAttempts, worker)
+			close(it.done)
+			continue
+		}
+		it.state = statePending
+		it.worker, it.stage = "", ""
+		c.queue = append(c.queue, it.id)
+		c.metrics.Requeues.Add(1)
+	}
+}
+
+// touch records a sign of life from worker, clearing any lost mark.
+func (c *Coordinator) touch(worker string) {
+	if worker == "" {
+		return
+	}
+	if c.lost[worker] {
+		delete(c.lost, worker)
+		c.emit("dist.worker.recovered", map[string]string{"worker": worker})
+	}
+}
+
+// grant pops the next pending item and leases it to worker.
+func (c *Coordinator) grant(worker string) LeaseResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(worker)
+	if worker != "" {
+		c.seen[worker] = true
+	}
+	for len(c.queue) > 0 {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		it := c.items[id]
+		if it == nil || it.state != statePending {
+			continue // stale queue entry: leased elsewhere, done, or abandoned
+		}
+		it.state = stateLeased
+		it.worker = worker
+		it.deadline = now.Add(c.lease)
+		it.attempts++
+		c.metrics.LeasesGranted.Add(1)
+		c.emit("dist.lease.granted", map[string]string{
+			"spec": it.label, "key": it.key, "worker": worker,
+			"attempt": strconv.Itoa(it.attempts),
+		})
+		return LeaseResponse{
+			Status:  StatusLease,
+			ID:      it.id,
+			Spec:    it.specJSON,
+			Key:     it.key,
+			LeaseMS: c.lease.Milliseconds(),
+		}
+	}
+	if c.finished {
+		if worker != "" {
+			c.dismissed[worker] = true
+		}
+		return LeaseResponse{Status: StatusDone}
+	}
+	return LeaseResponse{Status: StatusWait}
+}
+
+// Drain blocks until every worker that ever polled this coordinator has
+// been dismissed with StatusDone or declared lost, so the coordinator
+// process can exit without stranding its fleet in the unreachable-grace
+// backstop. Call it after Finish, with the lease API still being served.
+// The wait is bounded by ctx and timeout: a worker that died while idle
+// never polls again and must not pin the coordinator on its way out.
+func (c *Coordinator) Drain(ctx context.Context, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		waiting := 0
+		for w := range c.seen {
+			if !c.dismissed[w] && !c.lost[w] {
+				waiting++
+			}
+		}
+		c.mu.Unlock()
+		if waiting == 0 || ctx.Err() != nil || !time.Now().Before(deadline) {
+			return
+		}
+		if !sleepCtx(ctx, 25*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// heartbeat extends worker's lease on item id; Abandon reports that the
+// lease is no longer held.
+func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	it := c.items[req.ID]
+	if it == nil || it.state != stateLeased || it.worker != req.Worker {
+		return HeartbeatResponse{Abandon: true}
+	}
+	it.deadline = time.Now().Add(c.lease)
+	if req.Stage != "" {
+		it.stage = req.Stage
+	}
+	c.metrics.Heartbeats.Add(1)
+	return HeartbeatResponse{}
+}
+
+// complete accepts an artifact for item id. Completion is idempotent and
+// ownership-blind: the artifact is content-addressed by key and
+// bit-identical no matter which worker produced it, so a delivery from
+// an expired lease is as good as one from the live holder — whichever
+// lands first wins, the rest are duplicates.
+func (c *Coordinator) complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	it := c.items[req.ID]
+	if it == nil || it.state == stateDone || it.state == stateFailed {
+		c.mu.Unlock()
+		c.metrics.Duplicates.Add(1)
+		return CompleteResponse{Duplicate: true}, nil
+	}
+	if req.Key != it.key {
+		c.mu.Unlock()
+		return CompleteResponse{}, &ProtocolError{
+			Detail: fmt.Sprintf("complete for item %d: key %.16s does not match lease key %.16s", req.ID, req.Key, it.key),
+		}
+	}
+	spec, key, label := it.spec, it.key, it.label
+	c.mu.Unlock()
+
+	// Decode outside the lock: artifacts are large and decoding is pure.
+	art, err := pipeline.UnmarshalArtifact(req.Artifact, spec, key)
+	if err != nil {
+		c.metrics.RejectedWrites.Add(1)
+		return CompleteResponse{}, fmt.Errorf("dist: decoding artifact for %s: %w", label, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	if it.state == stateDone || it.state == stateFailed {
+		c.metrics.Duplicates.Add(1)
+		return CompleteResponse{Duplicate: true}, nil
+	}
+	it.state = stateDone
+	it.art = art
+	it.worker = req.Worker
+	close(it.done)
+	c.metrics.Completions.Add(1)
+	c.emit("dist.completed", map[string]string{"spec": label, "key": key, "worker": req.Worker})
+	return CompleteResponse{}, nil
+}
+
+// fail records a worker-side failure for item id. A transient failure
+// within the attempt budget re-enqueues the spec; anything else fails it
+// for the sweep. Stale reports (expired lease, already finished) are
+// acknowledged and dropped.
+func (c *Coordinator) fail(req FailRequest) FailResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	it := c.items[req.ID]
+	if it == nil || it.state != stateLeased || it.worker != req.Worker {
+		return FailResponse{Acked: true}
+	}
+	c.emit("dist.failed", map[string]string{
+		"spec": it.label, "worker": req.Worker, "error": req.Error,
+		"transient": strconv.FormatBool(req.Transient),
+	})
+	if req.Transient && it.attempts < c.maxAttempts {
+		it.state = statePending
+		it.worker, it.stage = "", ""
+		c.queue = append(c.queue, it.id)
+		c.metrics.Requeues.Add(1)
+		return FailResponse{Acked: true}
+	}
+	it.state = stateFailed
+	it.err = fmt.Errorf("dist: spec %s failed on worker %s (attempt %d/%d): %s",
+		it.label, req.Worker, it.attempts, c.maxAttempts, req.Error)
+	close(it.done)
+	c.metrics.RemoteFailures.Add(1)
+	return FailResponse{}
+}
+
+// State snapshots the queue for /v1/state and the /distz debug page.
+func (c *Coordinator) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := State{Finished: c.finished}
+	for _, it := range c.items {
+		is := ItemState{
+			ID: it.id, Spec: it.label, Key: it.key, State: it.state,
+			Worker: it.worker, Stage: it.stage, Attempts: it.attempts,
+		}
+		if it.err != nil {
+			is.Err = it.err.Error()
+		}
+		st.Items = append(st.Items, is)
+		switch it.state {
+		case statePending:
+			st.Pending++
+		case stateLeased:
+			st.Leased++
+		case stateDone:
+			st.Done++
+		case stateFailed:
+			st.Failed++
+		}
+	}
+	sort.Slice(st.Items, func(i, j int) bool {
+		if st.Items[i].ID != st.Items[j].ID {
+			return st.Items[i].ID < st.Items[j].ID
+		}
+		return st.Items[i].Key < st.Items[j].Key
+	})
+	return st
+}
+
+// emit forwards an event to the flight recorder.
+func (c *Coordinator) emit(name string, fields map[string]string) {
+	c.ob.Emit(name, fields)
+}
+
+// Handler returns the worker-facing HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.grant(req.Worker))
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.heartbeat(req))
+	})
+	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		resp, err := c.complete(req)
+		if err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				// A key that contradicts the lease is protocol skew, not a
+				// flaky upload: permanent on the worker side.
+				writeError(w, http.StatusBadRequest, "", err.Error())
+				return
+			}
+			// A rejected upload is the worker's to retry: the bytes were
+			// damaged in transit or the marshal was cut short.
+			writeError(w, http.StatusInternalServerError, "", err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req FailRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.fail(req))
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.State())
+	})
+	return mux
+}
+
+// DebugHandler returns the /distz human-readable state page for the obs
+// debug server.
+func (c *Coordinator) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.State())
+	})
+}
+
+// version accessors let decodeRequest check V without reflection.
+func (r LeaseRequest) version() int     { return r.V }
+func (r HeartbeatRequest) version() int { return r.V }
+func (r CompleteRequest) version() int  { return r.V }
+func (r FailRequest) version() int      { return r.V }

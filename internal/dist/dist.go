@@ -1,0 +1,88 @@
+// Package dist is the fault-tolerant distributed sweep layer: a
+// lease-based coordinator/worker protocol (HTTP/JSON, standard library
+// only) that partitions a sweep's RunSpecs across worker processes and is
+// robust by construction.
+//
+// The coordinator hands out work as time-bounded leases. A leased spec
+// whose lease expires — because the worker crashed, hung past its
+// heartbeats, or lost the network — is re-enqueued, so no failure mode of
+// a worker can strand work. Workers poll for leases, send heartbeats that
+// extend their lease and report per-spec progress, and stream the
+// completed artifact back through the pipeline's wire codec. Duplicate
+// completions from lease-expiry races are idempotent: artifacts are
+// content-addressed by the spec's cache key and bit-identical by the
+// determinism invariant, so whichever completion lands first wins and the
+// loser is acknowledged as a duplicate.
+//
+// The coordinator side plugs into the run engine as a pipeline.Executor,
+// which is what makes the distribution transparent: the engine's
+// content-addressed cache, write-ahead journal (-resume works across
+// coordinator restarts), singleflight dedup, retry policy, and failure
+// taxonomy all apply to remote runs exactly as to local ones, and a
+// distributed sweep's output is byte-identical to a local sequential run.
+//
+// Worker RPCs go through the internal/resilience retry machinery with the
+// taxonomy extended to the network: a refused, reset, or timed-out
+// connection is transient (the coordinator may be restarting); a protocol
+// version mismatch is a *ProtocolError and permanent. A lost worker is an
+// event, not a failure: the coordinator emits flight-recorder events and
+// commchar_dist_* metrics and moves the work elsewhere.
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"commchar/internal/obs"
+)
+
+// ProtoVersion is the coordinator/worker wire-protocol version. Every
+// request carries it; a mismatch is rejected with a *ProtocolError, which
+// the resilience taxonomy classifies as permanent — mixed-version fleets
+// must fail loudly, not flake.
+const ProtoVersion = 1
+
+// ProtocolError reports a coordinator/worker protocol incompatibility
+// (version skew, malformed envelope). It is permanent by construction:
+// the same request will be rejected the same way.
+type ProtocolError struct {
+	Detail string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("dist: protocol error: %s", e.Detail)
+}
+
+// Metrics aggregates the coordinator's counters. All fields are updated
+// atomically; RegisterWith exposes them as commchar_dist_* on the debug
+// server's /metrics.
+type Metrics struct {
+	Enqueued       atomic.Int64 // specs submitted for distributed execution
+	LeasesGranted  atomic.Int64 // leases handed to workers (includes re-grants)
+	Heartbeats     atomic.Int64 // heartbeats accepted (lease extensions)
+	LeaseExpiries  atomic.Int64 // leases that expired without completion
+	WorkersLost    atomic.Int64 // lease expiries attributed to a lost worker
+	Requeues       atomic.Int64 // specs re-enqueued (expiry or transient failure)
+	Completions    atomic.Int64 // artifacts accepted from workers
+	Duplicates     atomic.Int64 // duplicate completions acknowledged idempotently
+	RejectedWrites atomic.Int64 // artifact uploads that failed to decode
+	RemoteFailures atomic.Int64 // specs failed permanently by a worker
+}
+
+// RegisterWith exposes every counter through an obs registry under the
+// commchar_dist_* namespace.
+func (m *Metrics) RegisterWith(r *obs.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc("commchar_dist_"+name, help, v.Load)
+	}
+	counter("enqueued_total", "specs submitted for distributed execution", &m.Enqueued)
+	counter("leases_granted_total", "leases handed to workers, re-grants included", &m.LeasesGranted)
+	counter("heartbeats_total", "heartbeats accepted as lease extensions", &m.Heartbeats)
+	counter("lease_expiries_total", "leases that expired without completion", &m.LeaseExpiries)
+	counter("workers_lost_total", "lease expiries attributed to a lost worker", &m.WorkersLost)
+	counter("requeues_total", "specs re-enqueued after expiry or transient failure", &m.Requeues)
+	counter("completions_total", "artifacts accepted from workers", &m.Completions)
+	counter("duplicates_total", "duplicate completions acknowledged idempotently", &m.Duplicates)
+	counter("rejected_writes_total", "artifact uploads that failed to decode", &m.RejectedWrites)
+	counter("remote_failures_total", "specs failed permanently by a worker", &m.RemoteFailures)
+}

@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"commchar/internal/resilience"
+)
+
+// maxBodyBytes bounds coordinator-side request bodies. The dominant
+// payload is a serialized artifact: the largest sweep artifacts are a
+// few tens of megabytes of CSV, so 256 MiB is generous headroom while
+// still refusing a runaway stream.
+const maxBodyBytes = 256 << 20
+
+// versioned is any request that carries the protocol version.
+type versioned interface{ version() int }
+
+// decodeRequest reads and validates a JSON request body into dst (a
+// pointer). It answers the request itself on failure — 400 with a
+// version-mismatch code for protocol skew, 400 for malformed JSON — and
+// reports whether the handler should proceed.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst versioned) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "", fmt.Sprintf("malformed request: %v", err))
+		return false
+	}
+	if v := dst.version(); v != ProtoVersion {
+		writeError(w, http.StatusBadRequest, codeVersionMismatch,
+			fmt.Sprintf("protocol version %d, coordinator speaks %d", v, ProtoVersion))
+		return false
+	}
+	return true
+}
+
+// writeJSON answers a request with 200 and a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError answers a request with an errorResponse.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, Code: code})
+}
+
+// client is the worker's resilient RPC stub: every call retries through
+// the resilience policy with the network taxonomy — refused, reset, and
+// timed-out connections are transient (the coordinator may be
+// restarting), a version mismatch is a permanent *ProtocolError.
+type client struct {
+	hc    *http.Client
+	retry resilience.Policy
+	// rpcTimeout bounds one attempt; the retry budget spans attempts.
+	rpcTimeout time.Duration
+}
+
+// newClient builds a client; zero-valued options take the resilience
+// defaults and a 30s per-attempt timeout.
+func newClient(retry resilience.Policy, rpcTimeout time.Duration) *client {
+	if retry.MaxAttempts == 0 {
+		retry = resilience.DefaultPolicy()
+	}
+	if rpcTimeout <= 0 {
+		rpcTimeout = 30 * time.Second
+	}
+	return &client{hc: &http.Client{}, retry: retry, rpcTimeout: rpcTimeout}
+}
+
+// post sends req to url and decodes the answer into resp, retrying
+// transient failures on a schedule seeded by the URL (so concurrent
+// workers decorrelate deterministically).
+func (c *client) post(ctx context.Context, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s request: %w", url, err)
+	}
+	_, err = c.retry.Do(ctx, jitterSeed(url), func() error {
+		return c.postOnce(ctx, url, body, resp)
+	})
+	return err
+}
+
+// postOnce is one RPC attempt. Classification rules:
+//
+//   - transport errors pass through (the net taxonomy in
+//     resilience.Classify already calls them transient);
+//   - an attempt that outlives rpcTimeout while the caller's context is
+//     still live is marked transient explicitly, because the raw error
+//     is context.DeadlineExceeded, which Classify must keep permanent
+//     for real cancellation;
+//   - a 5xx answer is transient (the coordinator can be mid-restart);
+//   - a 4xx answer with the version-mismatch code is a permanent
+//     *ProtocolError; other 4xx answers are plain permanent errors;
+//   - an undecodable 2xx body is transient: the connection was cut
+//     mid-answer.
+func (c *client) postOnce(ctx context.Context, url string, body []byte, resp any) error {
+	rpcCtx, cancel := context.WithTimeout(ctx, c.rpcTimeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(rpcCtx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: building %s request: %w", url, err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.hc.Do(httpReq)
+	if err != nil {
+		if rpcCtx.Err() != nil && ctx.Err() == nil {
+			// The attempt timed out, not the caller: retryable.
+			return resilience.MarkTransient(fmt.Errorf("dist: %s: attempt timed out: %w", url, err))
+		}
+		return fmt.Errorf("dist: %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes))
+	if err != nil {
+		// A cut answer is always worth one more try unless the caller
+		// itself was cancelled (Classify keeps that permanent).
+		if ctx.Err() != nil {
+			return fmt.Errorf("dist: %s: reading answer: %w", url, err)
+		}
+		return resilience.MarkTransient(fmt.Errorf("dist: %s: reading answer: %w", url, err))
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var er errorResponse
+		detail := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			detail = er.Error
+			if er.Code == codeVersionMismatch {
+				return &ProtocolError{Detail: detail}
+			}
+		}
+		err := fmt.Errorf("dist: %s: HTTP %d: %s", url, httpResp.StatusCode, detail)
+		if httpResp.StatusCode >= 500 {
+			return resilience.MarkTransient(err)
+		}
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return resilience.MarkTransient(fmt.Errorf("dist: %s: decoding answer: %w", url, err))
+	}
+	return nil
+}
+
+// jitterSeed derives a stable backoff seed from an RPC URL, so each
+// worker/endpoint pair follows its own deterministic schedule.
+func jitterSeed(url string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, url)
+	return h.Sum64()
+}

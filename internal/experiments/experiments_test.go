@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"commchar/internal/apps"
+	"commchar/internal/dist"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 )
@@ -35,6 +38,50 @@ func sweepObserved(t *testing.T, parallel int, ob *obs.Observer) string {
 	if err := r.All(&sb, 8); err != nil {
 		t.Fatal(err)
 	}
+	return sb.String()
+}
+
+// sweepDistributed runs the full evaluation with every run executed
+// remotely: a lease coordinator in front of two in-process workers —
+// each with its own engine — wired over real HTTP. By the determinism
+// invariant its output must be byte-identical to the local sweeps.
+func sweepDistributed(t *testing.T) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coord := dist.NewCoordinator(dist.CoordinatorOptions{Lease: 30 * time.Second})
+	coord.Start(ctx)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		weng, err := pipeline.New(pipeline.Options{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := dist.NewWorker(dist.WorkerOptions{Name: name, Runner: weng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Poll(ctx, srv.URL); err != nil {
+				t.Errorf("worker poll: %v", err)
+			}
+		}()
+	}
+	front, err := pipeline.New(pipeline.Options{Parallel: 4, Remote: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerWith(apps.ScaleSmall, front)
+	var sb strings.Builder
+	if err := r.All(&sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	coord.Finish()
+	wg.Wait() // both workers observe StatusDone and detach cleanly
 	return sb.String()
 }
 
@@ -72,6 +119,20 @@ func TestParallelSweepIsDeterministic(t *testing.T) {
 	}
 	if len(ob.Tracer.Events()) == 0 {
 		t.Fatal("traced sweep recorded no trace events")
+	}
+
+	// Distribution must be invisible too: the same sweep partitioned
+	// across a two-worker lease fleet over HTTP is byte-identical to
+	// the sequential local run.
+	distributed := sweepDistributed(t)
+	if distributed != seq {
+		i := 0
+		for i < len(seq) && i < len(distributed) && seq[i] == distributed[i] {
+			i++
+		}
+		lo := max(0, i-120)
+		t.Fatalf("distributed sweep diverges from sequential at byte %d:\nsequential:  %q\ndistributed: %q",
+			i, seq[lo:min(len(seq), i+120)], distributed[lo:min(len(distributed), i+120)])
 	}
 	if raw, err := os.ReadFile(ob.TracePath); err != nil || !json.Valid(raw) {
 		t.Fatalf("Chrome trace at %s invalid: err=%v valid=%t", ob.TracePath, err, err == nil && json.Valid(raw))

@@ -12,6 +12,9 @@ var ctxEntryPackages = []string{
 	"internal/pipeline",
 	"internal/core",
 	"internal/sim",
+	// The distributed layer's poll and heartbeat loops run until a remote
+	// process says stop; an uncancellable one pins a worker forever.
+	"internal/dist",
 }
 
 // ioFuncs are the os entry points whose latency is unbounded from the

@@ -22,6 +22,10 @@ var taxonomyPackages = []string{
 	// as surely (retry.Do's "last attempt: %v" was the live instance).
 	"internal/resilience",
 	"internal/experiments",
+	// The distributed layer ships errors across a process boundary and
+	// re-classifies them on the far side (FailRequest.Transient comes
+	// from Classify); a stringified wrap on either side breaks failover.
+	"internal/dist",
 }
 
 // ErrTaxonomyAnalyzer enforces the PR 3 error taxonomy at the pipeline

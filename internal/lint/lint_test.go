@@ -24,7 +24,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"obsclock/internal/obs", []*Analyzer{DeterminismAnalyzer}},
 		{"obsclock/internal/pipeline", []*Analyzer{DeterminismAnalyzer}},
 		{"ctxflow/internal/pipeline", []*Analyzer{CtxflowAnalyzer}},
+		{"ctxflow/internal/dist", []*Analyzer{CtxflowAnalyzer}},
 		{"errtax/internal/pipeline", []*Analyzer{ErrTaxonomyAnalyzer}},
+		{"errtax/internal/dist", []*Analyzer{ErrTaxonomyAnalyzer}},
 		{"exitcode/internal/report", []*Analyzer{ExitCodeAnalyzer}},
 		{"exitcode/internal/cli", []*Analyzer{ExitCodeAnalyzer}},
 		{"exitcode/cmd/tool", []*Analyzer{ExitCodeAnalyzer}},

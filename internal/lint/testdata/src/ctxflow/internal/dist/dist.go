@@ -1,0 +1,66 @@
+// Package dist exercises the ctxflow analyzer over the distributed
+// layer's shapes: poll and heartbeat loops run until a remote process
+// says stop, so every exported entry point that loops or touches the
+// filesystem must be reachable by the caller's cancellation.
+package dist
+
+import (
+	"context"
+	"os"
+)
+
+// Worker is an exported type, so its exported methods are API.
+type Worker struct{ done bool }
+
+// Bad: a poll loop with no ctx parameter — an unreachable coordinator
+// would pin this worker forever.
+func (w *Worker) Poll(coordinator string) { // want "ctxflow: exported Poll contains a condition-only loop but takes no context.Context"
+	for !w.done {
+		w.leaseOnce(coordinator)
+	}
+}
+
+// Bad: a heartbeat spin, even with a break, is condition-only.
+func Heartbeat(alive func() bool) { // want "ctxflow: exported Heartbeat contains a condition-only loop but takes no context.Context"
+	for {
+		if !alive() {
+			break
+		}
+	}
+}
+
+// Bad: artifact spooling is filesystem I/O with no ctx parameter.
+func SpoolArtifact(path string, data []byte) error { // want "ctxflow: exported SpoolArtifact contains filesystem I/O \\(os.WriteFile\\) but takes no context.Context"
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Bad: library code must not mint a fresh root; the worker would keep
+// polling after the sweep's context was cut.
+func (w *Worker) leaseOnce(coordinator string) {
+	ctx := context.Background() // want "ctxflow: context.Background mints a fresh root in a library package"
+	_ = ctx
+	_ = coordinator
+}
+
+// Good: the ctx-accepting poll loop.
+func (w *Worker) PollContext(ctx context.Context, coordinator string) {
+	for !w.done {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		_ = coordinator
+	}
+}
+
+// Good: iterating a bounded lease table is input-bounded work.
+func CountPending(states []string) int {
+	pending := 0
+	for _, s := range states {
+		if s == "pending" {
+			pending++
+		}
+	}
+	return pending
+}

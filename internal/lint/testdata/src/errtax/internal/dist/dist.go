@@ -1,0 +1,42 @@
+// Package dist exercises the errtaxonomy analyzer over the distributed
+// layer's shapes: worker-side failures are classified by the resilience
+// taxonomy before crossing the wire, so a stringified wrap breaks
+// failover on both sides of the RPC.
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bad: %v severs the chain before Classify can see a refused connection.
+func leaseError(err error) error {
+	return fmt.Errorf("lease poll failed: %v", err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}
+
+// Bad: %s is the same severed chain with different spelling.
+func heartbeatError(worker string, err error) error {
+	return fmt.Errorf("worker %s heartbeat: %s", worker, err) // want "errtaxonomy: error value formatted with %v/%s in fmt.Errorf"
+}
+
+// Bad: stringifying explicitly before formatting evades the verb check
+// but not the Error() check.
+func completeError(err error) error {
+	return fmt.Errorf("artifact upload: " + err.Error()) // want "errtaxonomy: err.Error\\(\\) inside fmt.Errorf flattens the error chain"
+}
+
+// Bad: errors.New over a flattened cause.
+func attachError(err error) error {
+	return errors.New("attach rejected: " + err.Error()) // want "errtaxonomy: err.Error\\(\\) inside errors.New flattens the error chain"
+}
+
+// Good: %w keeps a transport failure classifiable as transient.
+func pollError(err error) error {
+	return fmt.Errorf("dist: lease poll: %w", err)
+}
+
+// Good: a failure report's Error field is already a plain string on the
+// wire; formatting strings with %s is unrestricted.
+func remoteFailure(spec, worker, msg string) error {
+	return fmt.Errorf("dist: spec %s failed on worker %s: %s", spec, worker, msg)
+}

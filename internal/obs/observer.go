@@ -3,6 +3,7 @@ package obs
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 )
 
@@ -129,6 +130,18 @@ func (o *Observer) ServeDebug(addr string) error {
 	}
 	o.server = srv
 	return nil
+}
+
+// HandleDebug mounts h on the running debug server at pattern, reporting
+// whether a server was there to take it (nil observer or no -debug-addr:
+// false, and the registration is dropped — debug pages are strictly
+// opt-in observability).
+func (o *Observer) HandleDebug(pattern string, h http.Handler) bool {
+	if o == nil || o.server == nil {
+		return false
+	}
+	o.server.Handle(pattern, h)
+	return true
 }
 
 // DebugAddr returns the debug server's bound address, or "".

@@ -15,6 +15,7 @@ const (
 	StageAcquire = "acquire" // executing the application / reading the trace
 	StageReplay  = "replay"  // replaying through the mesh
 	StageAnalyze = "analyze" // statistical characterization
+	StageRemote  = "remote"  // executing on a distributed worker (internal/dist)
 	StageDone    = "done"    // artifact produced (Source says from where)
 	StageFailed  = "failed"  // spec produced no artifact
 )

@@ -25,6 +25,7 @@ import (
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	mux *http.ServeMux
 }
 
 // StartServer listens on addr (host:port; port 0 picks a free port) and
@@ -79,9 +80,22 @@ func StartServer(addr string, reg *Registry, prog *Progress, events *EventLog) (
 	s := &Server{
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:  ln,
+		mux: mux,
 	}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// Handle mounts an additional handler on the debug server's mux, so a
+// subsystem can expose its own state page (internal/dist mounts /distz)
+// without running a second server. ServeMux registration is
+// concurrency-safe, so handlers may be added after the server is live; a
+// nil server ignores the registration.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the server's bound address (useful with port 0).

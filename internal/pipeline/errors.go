@@ -19,9 +19,9 @@ type SpecError struct {
 
 func (e *SpecError) Error() string {
 	if e.Attempts > 1 {
-		return fmt.Sprintf("pipeline: %s: after %d attempts: %v", e.Spec.label(), e.Attempts, e.Err)
+		return fmt.Sprintf("pipeline: %s: after %d attempts: %v", e.Spec.Label(), e.Attempts, e.Err)
 	}
-	return fmt.Sprintf("pipeline: %s: %v", e.Spec.label(), e.Err)
+	return fmt.Sprintf("pipeline: %s: %v", e.Spec.Label(), e.Err)
 }
 
 func (e *SpecError) Unwrap() error { return e.Err }

@@ -20,6 +20,12 @@ type Flags struct {
 	SpecTimeout time.Duration
 	JournalPath string
 	Resume      bool
+
+	// Remote, when set before EngineObserved, routes cache-miss specs
+	// through a remote executor (see internal/dist). It has no flag of
+	// its own: the tools that support distribution construct the
+	// executor from their own flags (-workers) and inject it here.
+	Remote Executor
 }
 
 // AddFlags registers the pipeline flags on a flag set.
@@ -74,6 +80,7 @@ func (f *Flags) EngineObserved(ob *obs.Observer) (*Engine, error) {
 		OnError:     onError,
 		SpecTimeout: f.SpecTimeout,
 		Journal:     journal,
+		Remote:      f.Remote,
 		Obs:         ob,
 	})
 	if err != nil {

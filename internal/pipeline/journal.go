@@ -44,9 +44,15 @@ func isKeyLine(s string) bool {
 
 // OpenJournal opens (creating if needed) the sweep journal at path. With
 // resume true, previously recorded keys are loaded and reported by Done;
-// otherwise the journal is truncated and the sweep starts fresh. A
-// partial or malformed tail (crash mid-append) is truncated to the last
-// complete record.
+// otherwise the journal is truncated and the sweep starts fresh.
+//
+// Recovery is total over the file's contents: the longest prefix of
+// complete, well-formed records is kept and everything after it — a torn
+// final line from a crash mid-append, arbitrary corruption of any length,
+// even a record-shaped line missing its newline (the append protocol
+// always writes one, so its absence means the write was cut) — is
+// truncated away. No journal contents can make resume fail; only a real
+// I/O error can.
 //lint:allow ctxflow opening the journal is one bounded open+scan of a local file; the sweep ctx governs the replay work, not this setup step
 func OpenJournal(path string, resume bool) (*Journal, error) {
 	flags := os.O_RDWR | os.O_CREATE
@@ -62,22 +68,28 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 		return j, nil
 	}
 
-	// Replay: keep complete, well-formed records; stop at the first torn
-	// or malformed line and truncate the file there, so the next append
-	// starts on a clean boundary.
-	sc := bufio.NewScanner(f)
+	// Replay with a plain delimiter reader, not a Scanner: a Scanner
+	// errors out on an over-long corrupt line, and recovery must never
+	// error on damage.
+	r := bufio.NewReader(f)
 	valid := int64(0)
-	for sc.Scan() {
-		line := strings.TrimRight(sc.Text(), "\r")
+	for {
+		rec, err := r.ReadString('\n')
+		if err == io.EOF {
+			// A record without its terminator is a torn tail, however
+			// plausible its bytes look.
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pipeline: journal: %w", err)
+		}
+		line := strings.TrimRight(rec, "\r\n")
 		if !isKeyLine(line) {
 			break
 		}
 		j.done[line] = struct{}{}
-		valid += int64(len(sc.Bytes())) + 1
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pipeline: journal: %w", err)
+		valid += int64(len(rec))
 	}
 	if err := f.Truncate(valid); err != nil {
 		f.Close()

@@ -31,6 +31,9 @@ type Metrics struct {
 
 	DiskStoreErrors atomic.Int64 // best-effort cache writes that failed
 
+	RemoteRuns atomic.Int64 // specs executed through the remote executor
+	RemoteNS   atomic.Int64 // wall time waiting on remote executions
+
 	Retries       atomic.Int64 // extra stage executions after transient failures
 	Panics        atomic.Int64 // worker panics contained by the recovery boundary
 	Cancelled     atomic.Int64 // runs stopped by cancellation or a deadline
@@ -61,6 +64,10 @@ func (m *Metrics) Summary() *report.Table {
 	// Resilience counters appear only when something went wrong (or was
 	// resumed), so the summary of a clean run is unchanged from older
 	// versions and byte-stable across cold and warm cache states.
+	if n := m.RemoteRuns.Load(); n > 0 {
+		t.AddRow("remote runs", fmt.Sprintf("%d", n))
+		t.AddRow("remote wall (ms)", ms(m.RemoteNS.Load()))
+	}
 	if n := m.DiskStoreErrors.Load(); n > 0 {
 		t.AddRow("disk store errors", fmt.Sprintf("%d", n))
 	}
@@ -107,6 +114,8 @@ func (m *Metrics) RegisterWith(r *obs.Registry) {
 	counter("acquire_ns_total", "wall time spent in the acquire stage", &m.AcquireNS)
 	counter("replay_ns_total", "wall time spent in the log (replay) stage", &m.ReplayNS)
 	counter("analyze_ns_total", "wall time spent in the analyze stage", &m.AnalyzeNS)
+	counter("remote_runs_total", "specs executed through the remote executor", &m.RemoteRuns)
+	counter("remote_ns_total", "wall time spent waiting on remote executions", &m.RemoteNS)
 	counter("disk_store_errors_total", "best-effort cache writes that failed", &m.DiskStoreErrors)
 	counter("retries_total", "extra stage executions after transient failures", &m.Retries)
 	counter("panics_total", "worker panics contained by the recovery boundary", &m.Panics)

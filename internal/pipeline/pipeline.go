@@ -61,7 +61,22 @@ const (
 	SourceMemory Source = "memory"
 	// SourceDisk is the content-addressed on-disk cache.
 	SourceDisk Source = "disk"
+	// SourceRemote is an artifact executed by a remote worker (see the
+	// Options.Remote executor and internal/dist).
+	SourceRemote Source = "remote"
 )
+
+// An Executor runs one spec somewhere other than this process's stages —
+// typically a fleet of worker processes behind a coordinator (see
+// internal/dist). The engine still owns everything around the execution:
+// cache lookup and store, journal append, singleflight dedup, the retry
+// policy, and the worker-pool bound all apply to remote runs exactly as
+// they do to local ones. Execute must return an artifact whose contents
+// are byte-identical to what the local stages would have produced for the
+// same spec (the determinism invariant makes this checkable).
+type Executor interface {
+	Execute(ctx context.Context, spec RunSpec, key string) (*Artifact, error)
+}
 
 // Artifact is the pipeline's product for one spec: the characterization
 // plus the machine-level observations the experiments draw on.
@@ -117,6 +132,10 @@ type Options struct {
 	// (see OpenJournal); resumed keys served from the disk cache count
 	// as resumed work in the metrics.
 	Journal *Journal
+	// Remote, when non-nil, executes cache-miss specs through a remote
+	// executor (a distributed worker fleet) instead of the local stages.
+	// Caching, journaling, dedup, and the retry policy are unchanged.
+	Remote Executor
 	// Obs, when non-nil, observes the engine: every stage is traced as a
 	// span, the metrics counters are exported through the observer's
 	// registry, per-spec progress is tracked, and completed runs
@@ -138,6 +157,7 @@ type Engine struct {
 	retry       resilience.Policy
 	specTimeout time.Duration
 	journal     *Journal
+	remote      Executor
 
 	// obs observes the engine (nil: no observation); clock is the
 	// engine's only wall-clock source — obs.System() untraced, a fake in
@@ -195,6 +215,7 @@ func newEngine(opts Options) *Engine {
 		retry:       retry,
 		specTimeout: opts.SpecTimeout,
 		journal:     opts.Journal,
+		remote:      opts.Remote,
 		obs:         opts.Obs,
 		clock:       opts.Obs.ClockOrSystem(),
 		mem:         map[string]*Artifact{},
@@ -237,7 +258,7 @@ func trackName(spec RunSpec, key string) string {
 	if len(key) > 8 {
 		key = key[:8]
 	}
-	return spec.label() + "#" + key
+	return spec.Label() + "#" + key
 }
 
 // New builds an engine. It fails only if the cache directory cannot be
@@ -396,7 +417,7 @@ func (e *Engine) RunAllContext(ctx context.Context, specs ...RunSpec) ([]*Artifa
 				if errors.As(err, &se) {
 					errs[i] = err // already labelled with the spec
 				} else {
-					errs[i] = fmt.Errorf("%s: %w", spec.label(), err)
+					errs[i] = fmt.Errorf("%s: %w", spec.Label(), err)
 				}
 				if e.onError == OnErrorFail {
 					cancel()
@@ -496,7 +517,7 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key, track string) (
 		defer cancelTimeout()
 	}
 
-	rsp := e.obs.StartSpan("engine", track, "run", "run "+spec.label()).SetArg("key", key)
+	rsp := e.obs.StartSpan("engine", track, "run", "run "+spec.Label()).SetArg("key", key)
 	var art *Artifact
 	attempts, err := e.retry.Do(runCtx, jitterSeed(key), func() error {
 		return resilience.Protect(func() error {
@@ -539,8 +560,13 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key, track string) (
 	return art, nil
 }
 
-// runOnce executes the stages and the analysis exactly once.
+// runOnce executes the stages and the analysis exactly once — locally
+// through the acquisition stages, or through the remote executor when one
+// is configured.
 func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (*Artifact, error) {
+	if e.remote != nil {
+		return e.runRemote(ctx, spec, key, track)
+	}
 	res, err := e.runStages(ctx, spec, track)
 	if err != nil {
 		return nil, err
@@ -553,7 +579,7 @@ func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (
 	e.obs.SpecStage(track, obs.StageAnalyze)
 	asp := e.obs.StartSpan("engine", track, "stage", "analyze")
 	start := e.clock.Now()
-	c, err := res.raw.Characterize(spec.label(), strategy)
+	c, err := res.raw.Characterize(spec.Label(), strategy)
 	analyze := e.clock.Now().Sub(start)
 	asp.End()
 	e.metrics.AnalyzeNS.Add(int64(analyze))
@@ -591,6 +617,27 @@ func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (
 		FaultCounters: res.faultCounters,
 		Source:        SourceRun,
 	}, nil
+}
+
+// runRemote delegates one execution to the remote executor. The returned
+// artifact is re-labelled with this engine's spec and key (the worker may
+// use a different salt locally) and marked SourceRemote; the caller's
+// cache store and journal append then treat it like any local run.
+func (e *Engine) runRemote(ctx context.Context, spec RunSpec, key, track string) (*Artifact, error) {
+	e.obs.SpecStage(track, obs.StageRemote)
+	sp := e.obs.StartSpan("engine", track, "stage", "remote").SetArg("key", key)
+	start := e.clock.Now()
+	art, err := e.remote.Execute(ctx, spec, key)
+	remote := e.clock.Now().Sub(start)
+	sp.End()
+	e.metrics.RemoteNS.Add(int64(remote))
+	if err != nil {
+		return nil, err
+	}
+	a := *art
+	a.Spec, a.Key, a.Source = spec, key, SourceRemote
+	e.metrics.RemoteRuns.Add(1)
+	return &a, nil
 }
 
 // meshConfig builds the run's mesh configuration from the spec overrides.

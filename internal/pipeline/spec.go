@@ -70,8 +70,8 @@ type RunSpec struct {
 	Timeout time.Duration
 }
 
-// label returns the run's display name.
-func (s RunSpec) label() string {
+// Label returns the run's display name.
+func (s RunSpec) Label() string {
 	if s.Name != "" {
 		return s.Name
 	}

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"commchar/internal/trace"
+)
+
+// The wire codec serializes a complete Artifact for transport between a
+// distributed worker and its coordinator (see internal/dist). It reuses
+// the disk cache's entry layout — the family-tagged characterization JSON
+// plus CSV renderings of the bulky row data — so the transfer has exactly
+// the fidelity the cache round-trip tests already prove: a decoded
+// artifact is byte-identical to the original, which is what keeps a
+// distributed sweep's output byte-identical to a local one.
+
+// wireArtifact is the transport form of an Artifact.
+type wireArtifact struct {
+	// Meta is the disk cache's entry metadata: the characterization with
+	// Log and Trace stripped, integrity counts, and the machine-level
+	// observations.
+	Meta entryMeta
+	// LogCSV is the delivery log in trace.WriteDeliveries format.
+	LogCSV []byte
+	// TraceCSV is the application trace (static strategy only).
+	TraceCSV []byte `json:",omitempty"`
+}
+
+// MarshalArtifact serializes an artifact for transport. The artifact must
+// carry a characterization (failed specs produce no artifact and are
+// reported through the failure path instead).
+func MarshalArtifact(a *Artifact) ([]byte, error) {
+	if a == nil || a.C == nil {
+		return nil, fmt.Errorf("pipeline: marshal artifact: no characterization")
+	}
+	slim := *a.C
+	slim.Log, slim.Trace = nil, nil
+	w := wireArtifact{
+		Meta: entryMeta{
+			C:             &slim,
+			Messages:      len(a.C.Log),
+			HasTrace:      a.C.Trace != nil,
+			MemStats:      a.MemStats,
+			Profiles:      a.Profiles,
+			Failures:      a.Failures,
+			FaultCounters: a.FaultCounters,
+		},
+	}
+	var log bytes.Buffer
+	if err := trace.WriteDeliveries(&log, a.C.Log); err != nil {
+		return nil, fmt.Errorf("pipeline: marshal artifact log: %w", err)
+	}
+	w.LogCSV = log.Bytes()
+	if a.C.Trace != nil {
+		var tr bytes.Buffer
+		if err := a.C.Trace.WriteCSV(&tr); err != nil {
+			return nil, fmt.Errorf("pipeline: marshal artifact trace: %w", err)
+		}
+		w.TraceCSV = tr.Bytes()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalArtifact decodes a wire artifact back into an Artifact for the
+// given spec and cache key (the receiver knows both; they are not
+// round-tripped). Like the disk cache's load path, any inconsistency —
+// malformed JSON, a truncated CSV, a delivery count that does not match
+// the metadata — is an error: a partial transfer must never masquerade as
+// the run it describes. The caller sets Source.
+func UnmarshalArtifact(data []byte, spec RunSpec, key string) (*Artifact, error) {
+	var w wireArtifact
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("pipeline: unmarshal artifact: %w", err)
+	}
+	if w.Meta.C == nil {
+		return nil, fmt.Errorf("pipeline: unmarshal artifact: no characterization")
+	}
+	log, err := trace.ReadDeliveries(bytes.NewReader(w.LogCSV))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: unmarshal artifact log: %w", err)
+	}
+	if len(log) != w.Meta.Messages {
+		return nil, fmt.Errorf("pipeline: unmarshal artifact: %d deliveries, metadata says %d", len(log), w.Meta.Messages)
+	}
+	c := w.Meta.C
+	c.Log = log
+	if w.Meta.HasTrace {
+		tr, err := trace.ReadCSV(bytes.NewReader(w.TraceCSV), c.Procs)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: unmarshal artifact trace: %w", err)
+		}
+		c.Trace = tr
+	}
+	return &Artifact{
+		Spec:          spec,
+		Key:           key,
+		C:             c,
+		MemStats:      w.Meta.MemStats,
+		Profiles:      w.Meta.Profiles,
+		Failures:      w.Meta.Failures,
+		FaultCounters: w.Meta.FaultCounters,
+	}, nil
+}

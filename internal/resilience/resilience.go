@@ -14,8 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"runtime/debug"
+	"syscall"
 
 	"commchar/internal/sim"
 	"commchar/internal/trace"
@@ -87,6 +90,14 @@ func MarkTransient(err error) error {
 //   - errors wrapped by MarkTransient are Transient;
 //   - filesystem errors (*os.PathError, *os.LinkError, *os.SyscallError)
 //     are Transient — the disk-cache I/O flake taxonomy;
+//   - network errors are Transient: a refused or reset connection, a
+//     dial or read timeout (*net.OpError, net.Error with Timeout, the
+//     ECONNREFUSED/ECONNRESET/EPIPE sentinels), a closed connection
+//     (net.ErrClosed), and a short body (io.ErrUnexpectedEOF) all come
+//     from the environment — a worker restarting, a coordinator
+//     rebinding — and clear on retry. A protocol-level rejection (for
+//     example dist's version mismatch) is a plain error and therefore
+//     Permanent: the same request will be rejected the same way;
 //   - a *trace.TruncatedError is Transient: the writer may still be
 //     flushing, or the next read of the entry may be whole;
 //   - a *sim.DeadlockError is Transient only when a watchdog budget
@@ -115,6 +126,19 @@ func Classify(err error) Class {
 		sysErr  *os.SyscallError
 	)
 	if errors.As(err, &pathErr) || errors.As(err, &linkErr) || errors.As(err, &sysErr) {
+		return Transient
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return Transient
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return Transient
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
 		return Transient
 	}
 	var te *trace.TruncatedError

@@ -4,7 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -55,11 +59,81 @@ func TestClassify(t *testing.T) {
 		{"watchdog-budget", budgetTrip, Transient},
 		{"structural-deadlock", deadlock, Permanent},
 		{"cancelled-deadlock", cancelled, Permanent},
+		// The network taxonomy (internal/dist RPCs).
+		{"op-error", &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("refused")}, Transient},
+		{"conn-refused", fmt.Errorf("post: %w", syscall.ECONNREFUSED), Transient},
+		{"conn-reset", fmt.Errorf("read: %w", syscall.ECONNRESET), Transient},
+		{"broken-pipe", fmt.Errorf("write: %w", syscall.EPIPE), Transient},
+		{"net-closed", fmt.Errorf("lease: %w", net.ErrClosed), Transient},
+		{"short-body", fmt.Errorf("artifact: %w", io.ErrUnexpectedEOF), Transient},
+		{"net-timeout", fmt.Errorf("rpc: %w", &timeoutError{}), Transient},
 	}
 	for _, tc := range table {
 		if got := Classify(tc.err); got != tc.want {
 			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
 		}
+	}
+}
+
+// timeoutError satisfies net.Error with Timeout() true, like a
+// *http.httpError from an exhausted client timeout.
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// TestBackoffGoldenSchedule pins the exact splitmix64 jitter sequence of
+// the default policy for fixed seeds. Any change to these numbers is a
+// change to every retry schedule in every recorded run — deliberate
+// changes must update the goldens, accidental ones fail here.
+func TestBackoffGoldenSchedule(t *testing.T) {
+	p := DefaultPolicy()
+	golden := map[uint64][]time.Duration{
+		0:          {3916403, 7955948, 11134503, 28629116, 55470721, 139185361, 173728718, 202313078},
+		42:         {4320446, 9907620, 19684135, 34603985, 59328471, 81262361, 138814148, 216323873},
+		0xdeadbeef: {2850450, 9215675, 10986797, 32509460, 51183929, 151258158, 181323758, 158426282},
+	}
+	for seed, want := range golden {
+		for i, w := range want {
+			if got := p.Backoff(i+1, seed); got != w {
+				t.Errorf("seed %d attempt %d: Backoff = %d, want %d", seed, i+1, int64(got), int64(w))
+			}
+		}
+	}
+}
+
+// TestBackoffStableUnderConcurrency: the schedule is pure — many
+// goroutines computing the same (seed, attempt) pairs concurrently all
+// see the golden values, so a parallel sweep's retry timing cannot
+// depend on scheduling. This is what keeps -parallel=1 and -parallel=N
+// sweeps byte-identical even when retries fire.
+func TestBackoffStableUnderConcurrency(t *testing.T) {
+	p := DefaultPolicy()
+	want := make([]time.Duration, 16)
+	for n := range want {
+		want[n] = p.Backoff(n, 7)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 100; rep++ {
+				for n := range want {
+					if got := p.Backoff(n, 7); got != want[n] {
+						errs <- fmt.Sprintf("attempt %d: %v != %v", n, got, want[n])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 
