@@ -13,6 +13,7 @@
 // Usage:
 //
 //	characterize -app IS [-procs 16] [-scale full|small] [-log out.csv] [-cache-dir .cache]
+//	characterize -app IS -topology fattree [-dims 4,2]   (fabric other than the 2-D mesh)
 //	characterize -app 3D-FFT -app-trace-out t.csv   (static strategy: export the app trace)
 //	characterize -app IS -trace-out run.trace.json -debug-addr :8080   (observability)
 //	characterize -app IS -workers http://w1:7801,http://w2:7802   (run on a sweepd fleet)
@@ -32,6 +33,7 @@ import (
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/core"
 	"commchar/internal/dist"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
@@ -50,6 +52,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logOut := fs.String("log", "", "write the raw network log (CSV) to this file")
 	traceOut := fs.String("app-trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
+	topology := fs.String("topology", "", "interconnect fabric: "+strings.Join(core.TopologyNames(), ", ")+" (default: the paper's 2-D mesh)")
+	dimsFlag := fs.String("dims", "", "fabric dimensions, e.g. 4,4,4 (topology-specific; default: derived from -procs)")
 	workers := fs.String("workers", "", "comma-separated sweepd worker control URLs: run remotely on this fleet")
 	distListen := fs.String("dist-listen", "127.0.0.1:0", "address to serve the coordinator lease API on (with -workers)")
 	distAdvertise := fs.String("dist-advertise", "", "coordinator URL advertised to the workers (default: the bound -dist-listen address)")
@@ -81,6 +85,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if _, err := apps.ByName(sc, *app); err != nil {
 		return cli.Usagef("%v", err)
+	}
+	dims, err := core.ParseDims(*dimsFlag)
+	if err != nil {
+		return cli.Usagef("-dims: %v", err)
 	}
 	ob, err := of.Observer(stderr)
 	if err != nil {
@@ -133,7 +141,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if cf.Metrics {
 		defer eng.Metrics().Render(stderr)
 	}
-	art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+	art, err := eng.RunContext(ctx, pipeline.RunSpec{
+		App: *app, Procs: *procs, Scale: sc,
+		Topology: *topology, Dims: dims,
+	})
 	if err != nil {
 		return err
 	}

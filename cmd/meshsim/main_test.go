@@ -103,3 +103,63 @@ func TestUsageErrors(t *testing.T) {
 		t.Fatalf("bad -faults: expected UsageError, got %v", err)
 	}
 }
+
+// TestTopologyFlagEndToEnd replays the same trace on every fabric through
+// the full command path and checks the header names the fabric, the run
+// is deterministic, and the default path still prints the legacy header.
+func TestTopologyFlagEndToEnd(t *testing.T) {
+	tracePath := writeRingTrace(t, 10)
+	runOnce := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		all := append([]string{"-trace", tracePath, "-ranks", "4", "-max-events", "5000000"}, args...)
+		if err := run(context.Background(), all, &stdout, &stderr); err != nil {
+			t.Fatalf("run %v failed: %v\n%s", args, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	if out := runOnce(); !bytes.Contains([]byte(out), []byte("mesh          : 4x1")) {
+		t.Errorf("default run lost the legacy header:\n%s", out)
+	}
+	for topo, name := range map[string]string{
+		"torus3d":   "torus2x2x2",
+		"fattree":   "fattree4:1",
+		"dragonfly": "dragonfly a2h1",
+		"hypercube": "hypercube2d",
+	} {
+		out := runOnce("-topology", topo)
+		if !bytes.Contains([]byte(out), []byte("fabric        : "+name)) {
+			t.Errorf("-topology %s header missing %q:\n%s", topo, name, out)
+		}
+		if out != runOnce("-topology", topo) {
+			t.Errorf("-topology %s runs diverged", topo)
+		}
+	}
+	out := runOnce("-topology", "torus", "-dims", "4,4")
+	if !bytes.Contains([]byte(out), []byte("fabric        : torus4x4")) {
+		t.Errorf("-dims did not pin the shape:\n%s", out)
+	}
+}
+
+// TestTopologyUsageErrors: topology-invalid invocations exit as usage
+// errors before any simulation state is built.
+func TestTopologyUsageErrors(t *testing.T) {
+	tracePath := writeRingTrace(t, 1)
+	for name, args := range map[string][]string{
+		"unknown fabric":    {"-topology", "nosuch"},
+		"bad dims":          {"-topology", "torus", "-dims", "4,x"},
+		"dims without topo": {"-dims", "4,4"},
+		"width with topo":   {"-topology", "torus3d", "-width", "2", "-height", "2"},
+		"torus one lane":    {"-topology", "torus3d", "-vcs", "1"},
+		"too small":         {"-topology", "hypercube", "-dims", "1"},
+	} {
+		var out bytes.Buffer
+		all := append([]string{"-trace", tracePath, "-ranks", "4"}, args...)
+		err := run(context.Background(), all, &out, &out)
+		var ue *cli.UsageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: expected UsageError, got %v", name, err)
+		}
+	}
+}

@@ -2,7 +2,8 @@
 // process per role of the internal/dist lease protocol.
 //
 // In -coordinator mode it enqueues a characterization sweep (apps ×
-// processor counts), serves the lease API to workers, renders each
+// processor counts × interconnect topologies), serves the lease API to
+// workers, renders each
 // run's report on stdout in spec order, and exits. The engine's cache,
 // journal, and -resume semantics apply to distributed runs unchanged,
 // so a coordinator killed mid-sweep restarts with -resume and only the
@@ -38,6 +39,7 @@ import (
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
+	"commchar/internal/core"
 	"commchar/internal/dist"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
@@ -54,6 +56,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	listen := fs.String("listen", "", "address to serve the role's HTTP API on (coordinator: lease API; worker: control API)")
 	appsFlag := fs.String("apps", "", "comma-separated application names to sweep (default: the whole suite)")
 	procsFlag := fs.String("procs", "16", "comma-separated processor counts to sweep")
+	topoFlag := fs.String("topologies", "", "comma-separated interconnect fabrics to sweep: "+strings.Join(core.TopologyNames(), ", ")+" (default: the paper's 2-D mesh)")
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	lease := fs.Duration("lease", 15*time.Second, "lease duration before unfinished work is re-enqueued")
 	maxAttempts := fs.Int("max-attempts", 5, "lease grants per spec before the coordinator fails it permanently")
@@ -89,7 +92,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}, ob, stdout, stderr)
 	}
 	return runCoordinator(ctx, coordinatorConfig{
-		listen: *listen, apps: *appsFlag, procs: *procsFlag, scale: *scale,
+		listen: *listen, apps: *appsFlag, procs: *procsFlag,
+		topologies: *topoFlag, scale: *scale,
 		lease: *lease, maxAttempts: *maxAttempts, workers: *workers,
 		advertise: *advertise, local: *local, pf: pf, cf: cf,
 	}, ob, stdout, stderr)
@@ -99,6 +103,7 @@ type coordinatorConfig struct {
 	listen      string
 	apps        string
 	procs       string
+	topologies  string
 	scale       string
 	lease       time.Duration
 	maxAttempts int
@@ -110,7 +115,7 @@ type coordinatorConfig struct {
 }
 
 func runCoordinator(ctx context.Context, cfg coordinatorConfig, ob *obs.Observer, stdout, stderr io.Writer) error {
-	specs, err := sweepSpecs(cfg.apps, cfg.procs, cfg.scale)
+	specs, err := sweepSpecs(cfg.apps, cfg.procs, cfg.topologies, cfg.scale)
 	if err != nil {
 		return err
 	}
@@ -237,9 +242,12 @@ func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, 
 	return w.Run(ctx)
 }
 
-// sweepSpecs expands the -apps/-procs/-scale cross product into specs,
-// in the stable apps-major order the reports are rendered in.
-func sweepSpecs(appsList, procsList, scale string) ([]pipeline.RunSpec, error) {
+// sweepSpecs expands the -apps/-procs/-topologies/-scale cross product
+// into specs, in the stable apps-major (then procs, then topology) order
+// the reports are rendered in. An empty topology list sweeps only the
+// default 2-D mesh, producing specs — and therefore cache keys — identical
+// to builds that predate the topology dimension.
+func sweepSpecs(appsList, procsList, topoList, scale string) ([]pipeline.RunSpec, error) {
 	sc := apps.ScaleFull
 	if scale == "small" {
 		sc = apps.ScaleSmall
@@ -266,10 +274,30 @@ func sweepSpecs(appsList, procsList, scale string) ([]pipeline.RunSpec, error) {
 	if len(procs) == 0 {
 		return nil, cli.Usagef("-procs: at least one processor count required")
 	}
+	topos := splitList(topoList)
+	if len(topos) == 0 {
+		topos = []string{""}
+	}
+	for _, t := range topos {
+		if t == "" {
+			continue
+		}
+		if _, err := core.TopologyFor(t, nil, procs[0]); err != nil {
+			return nil, cli.Usagef("-topologies: %v", err)
+		}
+	}
 	var specs []pipeline.RunSpec
 	for _, n := range names {
 		for _, p := range procs {
-			specs = append(specs, pipeline.RunSpec{App: n, Procs: p, Scale: sc})
+			for _, t := range topos {
+				s := pipeline.RunSpec{App: n, Procs: p, Scale: sc, Topology: t}
+				if t != "" {
+					// Label the report row with the fabric so a topology
+					// sweep's rows stay distinguishable.
+					s.Name = n + "/" + t
+				}
+				specs = append(specs, s)
+			}
 		}
 	}
 	return specs, nil

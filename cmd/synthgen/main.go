@@ -11,6 +11,7 @@
 // Usage:
 //
 //	synthgen -app 1D-FFT [-procs 16] [-scale full|small] [-seed 1] [-cache-dir .cache]
+//	synthgen -app 1D-FFT -topology torus3d [-dims 4,4,4]
 //	synthgen -log deliveries.csv -procs 16 -elapsed-ms 3.2
 package main
 
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"commchar/internal/apps"
 	"commchar/internal/cli"
@@ -42,6 +44,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	seed := fs.Uint64("seed", 1, "random seed for the synthetic generator")
 	elapsedMS := fs.Float64("elapsed-ms", 0, "simulated duration of the log (required with -log)")
+	topology := fs.String("topology", "", "interconnect fabric for -app runs: "+strings.Join(core.TopologyNames(), ", ")+" (default: the paper's 2-D mesh)")
+	dimsFlag := fs.String("dims", "", "fabric dimensions, e.g. 4,4,4 (topology-specific; default: derived from -procs)")
 	pf := pipeline.AddFlags(fs)
 	of := obs.AddFlags(fs)
 	cf := cli.AddCommonFlags(fs)
@@ -51,6 +55,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if cf.Version {
 		fmt.Fprintln(stdout, cli.VersionString())
 		return nil
+	}
+
+	dims, err := core.ParseDims(*dimsFlag)
+	if err != nil {
+		return cli.Usagef("-dims: %v", err)
 	}
 
 	var c *core.Characterization
@@ -76,7 +85,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if cf.Metrics {
 			defer eng.Metrics().Render(stderr)
 		}
-		art, err := eng.RunContext(ctx, pipeline.RunSpec{App: *app, Procs: *procs, Scale: sc})
+		art, err := eng.RunContext(ctx, pipeline.RunSpec{
+			App: *app, Procs: *procs, Scale: sc,
+			Topology: *topology, Dims: dims,
+		})
 		if err != nil {
 			return err
 		}

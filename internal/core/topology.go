@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"commchar/internal/mesh"
+)
+
+// ParseDims parses a comma-separated dimension list such as "4,4,4", the
+// shared syntax of every tool's -dims flag. An empty string means "derive
+// the shape from the processor count" and parses to nil.
+func ParseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: bad dimension %q (want positive integers, e.g. 4,4,4)", p)
+		}
+		dims = append(dims, n)
+	}
+	return dims, nil
+}
+
+// TopologyNames lists the fabric selectors accepted by TopologyFor, in
+// display order. The empty selector means "mesh".
+func TopologyNames() []string {
+	names := make([]string, 0, len(topologyBuilders))
+	for name := range topologyBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// topologyBuilders maps a selector to the function that sizes that fabric
+// for n processors, given optional explicit dimensions (nil = derive the
+// smallest standard instance that fits n).
+var topologyBuilders = map[string]func(dims []int, procs int) (mesh.Config, error){
+	"mesh":      meshTopo,
+	"torus":     torusTopo(2),
+	"torus3d":   torusTopo(3),
+	"torus4d":   torusTopo(4),
+	"hypercube": hypercubeTopo,
+	"fattree":   fattreeTopo,
+	"dragonfly": dragonflyTopo,
+}
+
+// TopologyFor returns the reproduction's standard machine configuration
+// for the named fabric and processor count. The empty name selects the
+// default 2-D mesh and is byte-for-byte the historical MeshFor geometry.
+// dims, when non-nil, pins the fabric's shape instead of deriving it:
+// per-dimension sizes for mesh/torus*, [d] for a hypercube, [arity,
+// levels] for a fat tree, [routers, globals] for a dragonfly. The
+// returned config always has at least procs endpoints; a shape that
+// cannot hold procs is an error.
+func TopologyFor(name string, dims []int, procs int) (mesh.Config, error) {
+	if name == "" {
+		name = "mesh"
+	}
+	build, ok := topologyBuilders[name]
+	if !ok {
+		return mesh.Config{}, fmt.Errorf("core: unknown topology %q (have %s)",
+			name, strings.Join(TopologyNames(), ", "))
+	}
+	cfg, err := build(dims, procs)
+	if err != nil {
+		return mesh.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return mesh.Config{}, err
+	}
+	if cfg.Nodes() < procs {
+		return mesh.Config{}, fmt.Errorf("core: %s has %d endpoints, too small for %d processors",
+			cfg.Fabric().Name(), cfg.Nodes(), procs)
+	}
+	return cfg, nil
+}
+
+func meshTopo(dims []int, procs int) (mesh.Config, error) {
+	if dims == nil {
+		return MeshFor(procs), nil
+	}
+	if len(dims) == 2 {
+		return mesh.DefaultConfig(dims[0], dims[1]), nil
+	}
+	return mesh.KAryConfig(mesh.MeshTopology, dims...), nil
+}
+
+// torusTopo sizes an n-dimensional torus: explicit dims (any rank), or
+// the smallest k^n cube with k >= 2 that holds procs.
+func torusTopo(n int) func(dims []int, procs int) (mesh.Config, error) {
+	return func(dims []int, procs int) (mesh.Config, error) {
+		if dims == nil {
+			k := 2
+			for pow(k, n) < procs {
+				k++
+			}
+			dims = make([]int, n)
+			for i := range dims {
+				dims[i] = k
+			}
+		}
+		return mesh.KAryConfig(mesh.TorusTopology, dims...), nil
+	}
+}
+
+func hypercubeTopo(dims []int, procs int) (mesh.Config, error) {
+	d := 1
+	if dims != nil {
+		if len(dims) != 1 {
+			return mesh.Config{}, fmt.Errorf("core: hypercube takes one dimension value, got %d", len(dims))
+		}
+		d = dims[0]
+	} else {
+		for 1<<d < procs {
+			d++
+		}
+	}
+	return mesh.HypercubeConfig(d), nil
+}
+
+// fattreeTopo sizes a k-ary n-tree: explicit [arity, levels], or a 4-ary
+// tree just deep enough for procs.
+func fattreeTopo(dims []int, procs int) (mesh.Config, error) {
+	if dims != nil {
+		if len(dims) != 2 {
+			return mesh.Config{}, fmt.Errorf("core: fattree takes [arity, levels], got %d values", len(dims))
+		}
+		return mesh.FatTreeConfig(dims[0], dims[1]), nil
+	}
+	const arity = 4
+	levels := 1
+	for pow(arity, levels) < procs {
+		levels++
+	}
+	return mesh.FatTreeConfig(arity, levels), nil
+}
+
+// dragonflyTopo sizes a balanced dragonfly: explicit [routers, globals],
+// or h=1 with the smallest group size a such that a*(a+1) >= procs.
+func dragonflyTopo(dims []int, procs int) (mesh.Config, error) {
+	if dims != nil {
+		if len(dims) != 2 {
+			return mesh.Config{}, fmt.Errorf("core: dragonfly takes [routers, globals], got %d values", len(dims))
+		}
+		return mesh.DragonflyConfig(dims[0], dims[1]), nil
+	}
+	a := 2
+	for a*(a+1) < procs {
+		a++
+	}
+	return mesh.DragonflyConfig(a, 1), nil
+}
+
+func pow(base, exp int) int {
+	n := 1
+	for i := 0; i < exp; i++ {
+		n *= base
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"commchar/internal/mesh"
+)
+
+// TestTopologyForDefaultIsLegacyMesh: the empty selector must reproduce
+// the historical MeshFor geometry exactly — callers that never heard of
+// topologies keep simulating the identical machine.
+func TestTopologyForDefaultIsLegacyMesh(t *testing.T) {
+	for _, procs := range []int{2, 4, 5, 16, 33} {
+		got, err := TopologyFor("", nil, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		want := MeshFor(procs)
+		if got.Width != want.Width || got.Height != want.Height || got.Topology != want.Topology {
+			t.Errorf("procs=%d: TopologyFor = %dx%d %v, MeshFor = %dx%d %v",
+				procs, got.Width, got.Height, got.Topology, want.Width, want.Height, want.Topology)
+		}
+	}
+}
+
+// TestTopologyForDerivedShapes pins the derived standard instance per
+// fabric at 16 processors.
+func TestTopologyForDerivedShapes(t *testing.T) {
+	want := map[string]string{
+		"mesh":      "mesh4x4",
+		"torus":     "torus4x4",
+		"torus3d":   "torus3x3x3",
+		"torus4d":   "torus2x2x2x2",
+		"hypercube": "hypercube4d",
+		"fattree":   "fattree4:2",
+		"dragonfly": "dragonfly a4h1",
+	}
+	for sel, name := range want {
+		cfg, err := TopologyFor(sel, nil, 16)
+		if err != nil {
+			t.Errorf("%s: %v", sel, err)
+			continue
+		}
+		fab := cfg.Fabric()
+		if fab.Name() != name {
+			t.Errorf("%s at 16 procs derives %q, want %q", sel, fab.Name(), name)
+		}
+		if fab.Endpoints() < 16 {
+			t.Errorf("%s: derived %d endpoints for 16 procs", sel, fab.Endpoints())
+		}
+		if cfg.VirtualChannels < fab.MinVirtualChannels() {
+			t.Errorf("%s: %d VCs below the fabric floor %d",
+				sel, cfg.VirtualChannels, fab.MinVirtualChannels())
+		}
+	}
+}
+
+// TestTopologyForRejects: unknown selectors, undersized explicit shapes,
+// and malformed dims fail with a descriptive error.
+func TestTopologyForRejects(t *testing.T) {
+	cases := []struct {
+		sel  string
+		dims []int
+	}{
+		{"nosuch", nil},
+		{"hypercube", []int{3}},    // 8 endpoints < 16 procs
+		{"hypercube", []int{2, 2}}, // hypercube takes one value
+		{"fattree", []int{4}},      // fattree takes [arity, levels]
+		{"dragonfly", []int{2}},    // dragonfly takes [routers, globals]
+		{"torus", []int{1, 16}},    // torus dimension below 2
+		{"mesh", []int{2, 2}},      // 4 endpoints < 16 procs
+	}
+	for _, c := range cases {
+		if _, err := TopologyFor(c.sel, c.dims, 16); err == nil {
+			t.Errorf("TopologyFor(%q, %v, 16) accepted", c.sel, c.dims)
+		}
+	}
+}
+
+// TestTopologyForExplicitDims: pinned shapes override derivation.
+func TestTopologyForExplicitDims(t *testing.T) {
+	cfg, err := TopologyFor("torus", []int{4, 4, 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := cfg.Fabric().Name(); name != "torus4x4x4" {
+		t.Fatalf("pinned torus renders %q", name)
+	}
+	if cfg.Topology != mesh.TorusTopology || cfg.VirtualChannels != 2 {
+		t.Fatalf("pinned torus config wrong: %+v", cfg)
+	}
+}
+
+// TestTopologyNamesMatchBuilders: the advertised selector list is exactly
+// the buildable set, sorted.
+func TestTopologyNamesMatchBuilders(t *testing.T) {
+	names := TopologyNames()
+	if len(names) != len(topologyBuilders) {
+		t.Fatalf("%d names for %d builders", len(names), len(topologyBuilders))
+	}
+	for i, n := range names {
+		if _, ok := topologyBuilders[n]; !ok {
+			t.Errorf("name %q has no builder", n)
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Errorf("names not sorted at %q", n)
+		}
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	good := map[string][]int{
+		"":       nil,
+		"4":      {4},
+		"4,4,4":  {4, 4, 4},
+		" 2, 3 ": {2, 3},
+	}
+	for in, want := range good {
+		got, err := ParseDims(in)
+		if err != nil {
+			t.Errorf("ParseDims(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseDims(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("ParseDims(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+	for _, in := range []string{"x", "4,", "0", "-1", "4,,4", "4.5"} {
+		if _, err := ParseDims(in); err == nil {
+			t.Errorf("ParseDims(%q) accepted", in)
+		} else if !strings.Contains(err.Error(), "dimension") {
+			t.Errorf("ParseDims(%q) error %q lacks context", in, err)
+		}
+	}
+}

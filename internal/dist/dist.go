@@ -40,7 +40,11 @@ import (
 // request carries it; a mismatch is rejected with a *ProtocolError, which
 // the resilience taxonomy classifies as permanent — mixed-version fleets
 // must fail loudly, not flake.
-const ProtoVersion = 1
+//
+// Version 2: RunSpec gained Topology/Dims. An older worker would silently
+// drop the fields from the leased spec and simulate the wrong fabric, so
+// the skew must be fatal, not lossy.
+const ProtoVersion = 2
 
 // ProtocolError reports a coordinator/worker protocol incompatibility
 // (version skew, malformed envelope). It is permanent by construction:

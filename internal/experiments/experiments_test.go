@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -16,6 +17,7 @@ import (
 	"commchar/internal/dist"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
+	"commchar/internal/workload"
 )
 
 // sweep runs the full small-scale evaluation through an engine with the
@@ -85,6 +87,35 @@ func sweepDistributed(t *testing.T) string {
 	return sb.String()
 }
 
+// sweepTopologyMatrix characterizes the same application on the default
+// 2-D mesh, a 3-D torus, and a fat tree through one engine of the given
+// worker-pool width, rendering the per-fabric network metrics in spec
+// order.
+func sweepTopologyMatrix(t *testing.T, parallel int) string {
+	t.Helper()
+	eng, err := pipeline.New(pipeline.Options{Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var specs []pipeline.RunSpec
+	for _, topo := range []string{"", "torus3d", "fattree"} {
+		specs = append(specs, pipeline.RunSpec{App: "IS", Procs: 16, Scale: apps.ScaleSmall, Topology: topo})
+	}
+	arts, err := eng.RunAll(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i, a := range arts {
+		c := a.C
+		m := workload.MeasureLog(c.Log, c.Elapsed, c.MeanUtilization)
+		fmt.Fprintf(&sb, "topo=%q messages=%d hops=%.2f latency=%.0f blocked=%.0f elapsed=%d\n",
+			specs[i].Topology, m.Messages, m.MeanHops, m.MeanLatencyNS, m.MeanBlockedNS, c.Elapsed)
+	}
+	return sb.String()
+}
+
 // TestParallelSweepIsDeterministic is the pipeline's central guarantee:
 // the full evaluation, executed across an 8-wide worker pool, is
 // byte-for-byte identical to the sequential run. It also keeps the
@@ -136,6 +167,26 @@ func TestParallelSweepIsDeterministic(t *testing.T) {
 	}
 	if raw, err := os.ReadFile(ob.TracePath); err != nil || !json.Valid(raw) {
 		t.Fatalf("Chrome trace at %s invalid: err=%v valid=%t", ob.TracePath, err, err == nil && json.Valid(raw))
+	}
+
+	// The invariant holds across fabrics too: a parallel sweep over the
+	// mesh / 3-D torus / fat-tree topology matrix renders byte-identically
+	// to its sequential run, and the fabrics genuinely differ.
+	topoSeq := sweepTopologyMatrix(t, 1)
+	if topoPar := sweepTopologyMatrix(t, 8); topoPar != topoSeq {
+		t.Fatalf("topology-matrix sweep diverges from sequential:\nsequential: %q\nparallel:   %q",
+			topoSeq, topoPar)
+	}
+	topoLines := strings.Split(strings.TrimSpace(topoSeq), "\n")
+	if len(topoLines) != 3 {
+		t.Fatalf("topology matrix rendered %d rows, want 3:\n%s", len(topoLines), topoSeq)
+	}
+	for i, a := range topoLines {
+		for _, b := range topoLines[i+1:] {
+			if a[strings.Index(a, " "):] == b[strings.Index(b, " "):] {
+				t.Fatalf("two fabrics produced identical metrics:\n%s", topoSeq)
+			}
+		}
 	}
 	for _, want := range []string{
 		"Table 1: application suite",

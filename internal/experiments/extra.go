@@ -145,9 +145,10 @@ func (r *Runner) AblationBarrier(w io.Writer, procs int) error {
 	return nil
 }
 
-// AblationTopology drives identical uniform traffic through a 4x4 mesh, a
-// 4x4 torus (2 VCs), and a 4-cube, comparing distance and latency: the
-// topology studies ([2], [4]) the characterization methodology feeds.
+// AblationTopology drives identical uniform traffic through every fabric
+// family sized for 16 endpoints — 2-D mesh, torus, hypercube, fat tree,
+// dragonfly — comparing distance and latency: the topology studies
+// ([2], [4]) the characterization methodology feeds.
 func (r *Runner) AblationTopology(w io.Writer) error {
 	const nodes = 16
 	configs := []struct {
@@ -155,13 +156,10 @@ func (r *Runner) AblationTopology(w io.Writer) error {
 		cfg   mesh.Config
 	}{
 		{"4x4 mesh", mesh.DefaultConfig(4, 4)},
-		{"4x4 torus (2 VCs)", func() mesh.Config {
-			c := mesh.DefaultConfig(4, 4)
-			c.Topology = mesh.TorusTopology
-			c.VirtualChannels = 2
-			return c
-		}()},
+		{"4x4 torus (2 VCs)", mesh.KAryConfig(mesh.TorusTopology, 4, 4)},
 		{"4-cube", mesh.HypercubeConfig(4)},
+		{"fat tree 4:2", mesh.FatTreeConfig(4, 2)},
+		{"dragonfly a4h1 (2 VCs)", mesh.DragonflyConfig(4, 1)},
 	}
 	t := &report.Table{
 		Title:   "Ablation: topology under identical uniform traffic (16 nodes)",

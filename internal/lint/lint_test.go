@@ -21,6 +21,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{"determ/a", []*Analyzer{DeterminismAnalyzer}},
 		{"determ/internal/sim", []*Analyzer{DeterminismAnalyzer}},
+		{"determ/internal/mesh", []*Analyzer{DeterminismAnalyzer}},
+		{"ctxflow/internal/core", []*Analyzer{CtxflowAnalyzer}},
 		{"obsclock/internal/obs", []*Analyzer{DeterminismAnalyzer}},
 		{"obsclock/internal/pipeline", []*Analyzer{DeterminismAnalyzer}},
 		{"ctxflow/internal/pipeline", []*Analyzer{CtxflowAnalyzer}},

@@ -1,0 +1,48 @@
+// Package core exercises the ctxflow analyzer over the topology-sizing
+// idiom: internal/core is an entry package, so an exported shape search
+// that loops until a fabric fits must stay reachable by cancellation.
+package core
+
+import "context"
+
+// Bad: an exported fabric search with a condition-only growth loop and
+// no ctx parameter.
+func GrowFabric(procs int) int { // want "ctxflow: exported GrowFabric contains a condition-only loop but takes no context.Context"
+	k := 2
+	for k*k < procs {
+		k++
+	}
+	return k
+}
+
+// Good: the cancellable variant threads the caller's context.
+func GrowFabricContext(ctx context.Context, procs int) (int, error) {
+	k := 2
+	for k*k < procs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		k++
+	}
+	return k, nil
+}
+
+// Good: unexported sizing helpers may loop freely — bounding them is
+// the exported entry point's job.
+func grow(procs int) int {
+	k := 2
+	for k*k < procs {
+		k++
+	}
+	return k
+}
+
+// Good: a three-clause counting loop is bounded by its inputs; deriving
+// the smallest k-ary shape this way needs no context.
+func Shape(n, procs int) []int {
+	dims := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		dims = append(dims, procs)
+	}
+	return dims
+}

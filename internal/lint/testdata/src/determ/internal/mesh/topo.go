@@ -1,0 +1,59 @@
+// Package mesh exercises the determinism analyzer over the topology
+// layer's central hazard: adjacency built from maps. Link ids are
+// assigned in creation order and flow into every delivery log, so a
+// wiring pass that iterates a map unsorted makes the whole simulation
+// schedule-dependent. Both sides are covered: the order-leaking shapes
+// are flagged, the canonical repairs are not.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Bad: link endpoints are collected in map-iteration order and returned
+// without a sort, so link-id assignment depends on the map's layout.
+func wireUnsorted(adjacency map[int][]int) []int {
+	var links []int
+	for node := range adjacency { // want "determinism: map range appends to \"links\" but the function never sorts it"
+		links = append(links, node)
+	}
+	return links
+}
+
+// Bad: dumping the wiring mid-range leaks iteration order straight into
+// the output stream; no later sort can repair it.
+func dumpWiring(adjacency map[int]int) {
+	for from, to := range adjacency { // want "determinism: map iteration order reaches fmt.Printf directly"
+		fmt.Printf("%d->%d\n", from, to)
+	}
+}
+
+// Bad: internal/mesh is a simulation package — fabric construction may
+// not consult the host clock.
+func timestampedBuild() int64 {
+	return time.Now().UnixNano() // want "determinism: wall-clock time.Now in a simulation package"
+}
+
+// Good: collect, sort, then wire — the canonical adjacency repair.
+func wireSorted(adjacency map[int][]int) []int {
+	var nodes []int
+	for node := range adjacency {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// Good: port-indexed wiring never touches a map; a Topology's
+// Degree/Neighbor contract iterates ports in fixed ascending order.
+func wireByPort(degree int, neighbor func(port int) int) []int {
+	links := make([]int, 0, degree)
+	for p := 0; p < degree; p++ {
+		if n := neighbor(p); n >= 0 {
+			links = append(links, n)
+		}
+	}
+	return links
+}

@@ -1,6 +1,9 @@
 // Package mesh implements the common network substrate of the paper: a
-// wormhole-routed 2-D mesh with dimension-order (XY) routing, per-link FCFS
-// arbitration, optional virtual channels, and a complete network log.
+// wormhole-routed fabric with deterministic routing, per-link FCFS
+// arbitration, optional virtual channels, and a complete network log. The
+// wiring and routing live behind the Topology interface — 2-D mesh (the
+// paper's machine), k-ary n-cube torus, binary hypercube, k-ary n-tree fat
+// tree, and dragonfly — while the wormhole engine in Network is shared.
 //
 // Both workload acquisition strategies (execution-driven shared memory and
 // trace-driven message passing) inject their messages here, exactly as in
@@ -16,23 +19,34 @@ import (
 	"commchar/internal/sim"
 )
 
-// Topology selects the wiring of the 2-D fabric.
-type Topology int
+// Kind selects the fabric family built by Config.Fabric.
+type Kind int
 
 const (
-	// MeshTopology is the paper's 2-D mesh: no wraparound links.
-	MeshTopology Topology = iota
-	// TorusTopology adds wraparound links in both dimensions. XY routing
-	// on a torus requires VirtualChannels >= 2 to stay deadlock-free; the
-	// constructor enforces that.
+	// MeshTopology is the paper's 2-D mesh: no wraparound links. With
+	// Dims set it generalizes to an n-dimensional mesh.
+	MeshTopology Kind = iota
+	// TorusTopology adds wraparound links in every dimension (a k-ary
+	// n-cube; the QCDSP machine is the 4-D member). Dimension-order
+	// routing on a torus requires VirtualChannels >= 2 to stay deadlock-
+	// free; the constructor enforces that.
 	TorusTopology
 	// HypercubeTopology is a binary d-cube with e-cube (dimension-order)
 	// routing, the other wormhole fabric prominent in the paper's era
 	// (cf. [4], [23]). Set Config.Dimensions; Width/Height are ignored.
 	HypercubeTopology
+	// FatTreeTopology is the k-ary n-tree indirect fabric: processors at
+	// the leaves, n levels of switches, deterministic up/down routing.
+	// Set Config.FatTreeArity and Config.FatTreeLevels.
+	FatTreeTopology
+	// DragonflyTopology is the balanced two-tier direct fabric: groups of
+	// DragonflyRouters routers joined by a complete graph, one endpoint
+	// per router, DragonflyGlobals global links per router. Requires
+	// VirtualChannels >= 2.
+	DragonflyTopology
 )
 
-func (t Topology) String() string {
+func (t Kind) String() string {
 	switch t {
 	case MeshTopology:
 		return "mesh"
@@ -40,8 +54,12 @@ func (t Topology) String() string {
 		return "torus"
 	case HypercubeTopology:
 		return "hypercube"
+	case FatTreeTopology:
+		return "fattree"
+	case DragonflyTopology:
+		return "dragonfly"
 	default:
-		return fmt.Sprintf("Topology(%d)", int(t))
+		return fmt.Sprintf("Kind(%d)", int(t))
 	}
 }
 
@@ -51,13 +69,14 @@ func (t Topology) String() string {
 type RoutingAlgorithm int
 
 const (
-	// RoutingDimensionOrder is deterministic XY (grid) or e-cube
-	// (hypercube) routing: the paper's configuration.
+	// RoutingDimensionOrder is the deterministic routing native to each
+	// topology: XY on a grid, e-cube on a hypercube, up/down on a fat
+	// tree, minimal on a dragonfly. The paper's configuration.
 	RoutingDimensionOrder RoutingAlgorithm = iota
-	// RoutingWestFirst is the minimal adaptive turn-model router for
+	// RoutingWestFirst is the minimal adaptive turn-model router for 2-D
 	// meshes: all westward hops are taken first, after which the head
 	// adaptively picks the least-loaded productive direction. Deadlock-
-	// free by the turn-model argument; mesh topology only.
+	// free by the turn-model argument; 2-D mesh topology only.
 	RoutingWestFirst
 )
 
@@ -73,10 +92,22 @@ func (r RoutingAlgorithm) String() string {
 }
 
 type Config struct {
-	Width, Height int      // routers per dimension (grid topologies)
-	Topology      Topology // mesh (default), torus, or hypercube
-	Dimensions    int      // cube dimensions (hypercube topology only)
+	Width, Height int   // routers per dimension (2-D grid topologies)
+	Topology      Kind  // mesh (default), torus, hypercube, fattree, or dragonfly
+	Dims          []int // grid sizes per dimension (mesh/torus); overrides Width/Height when set
+	Dimensions    int   // cube dimensions (hypercube topology only)
 	Routing       RoutingAlgorithm
+
+	// FatTreeArity (k) and FatTreeLevels (n) size a k-ary n-tree: k^n
+	// processors under n switch levels. Fat-tree topology only.
+	FatTreeArity  int
+	FatTreeLevels int
+
+	// DragonflyRouters (a) and DragonflyGlobals (h) size a balanced
+	// dragonfly: a*h+1 groups of a routers, one processor per router.
+	// Dragonfly topology only.
+	DragonflyRouters int
+	DragonflyGlobals int
 
 	FlitBytes   int          // bytes carried per flit
 	HeaderFlits int          // flits of routing/header overhead per message
@@ -133,14 +164,102 @@ func HypercubeConfig(dimensions int) Config {
 	return cfg
 }
 
+// KAryConfig returns the standard configuration for an n-dimensional grid
+// with the given per-dimension sizes: a mesh, or with wraparound a torus
+// (which gets the two dateline virtual channels it needs).
+func KAryConfig(kind Kind, dims ...int) Config {
+	cfg := DefaultConfig(1, 1)
+	cfg.Width, cfg.Height = 0, 0
+	cfg.Topology = kind
+	cfg.Dims = append([]int(nil), dims...)
+	if len(dims) == 2 {
+		cfg.Width, cfg.Height = dims[0], dims[1]
+	}
+	if kind == TorusTopology {
+		cfg.VirtualChannels = 2
+	}
+	return cfg
+}
+
+// FatTreeConfig returns the standard configuration for a k-ary n-tree.
+func FatTreeConfig(arity, levels int) Config {
+	cfg := DefaultConfig(1, 1)
+	cfg.Topology = FatTreeTopology
+	cfg.FatTreeArity = arity
+	cfg.FatTreeLevels = levels
+	return cfg
+}
+
+// DragonflyConfig returns the standard configuration for a balanced
+// dragonfly with a routers per group and h global links per router,
+// including the two virtual channels its routing needs.
+func DragonflyConfig(routers, globals int) Config {
+	cfg := DefaultConfig(1, 1)
+	cfg.Topology = DragonflyTopology
+	cfg.DragonflyRouters = routers
+	cfg.DragonflyGlobals = globals
+	cfg.VirtualChannels = 2
+	return cfg
+}
+
+// gridDims returns the per-dimension sizes of a grid fabric.
+func (c Config) gridDims() []int {
+	if len(c.Dims) > 0 {
+		return c.Dims
+	}
+	return []int{c.Width, c.Height}
+}
+
+// Fabric builds the Topology described by the configuration. It panics on
+// an invalid configuration; call Validate first.
+func (c Config) Fabric() Topology {
+	switch c.Topology {
+	case HypercubeTopology:
+		return &hypercube{dimensions: c.Dimensions}
+	case FatTreeTopology:
+		return newFatTree(c.FatTreeArity, c.FatTreeLevels)
+	case DragonflyTopology:
+		return newDragonfly(c.DragonflyRouters, c.DragonflyGlobals)
+	default:
+		return newKAryCube(c.gridDims(), c.Topology == TorusTopology)
+	}
+}
+
 // Validate reports whether the configuration is internally consistent.
 func (c Config) Validate() error {
-	if c.Topology == HypercubeTopology {
+	switch c.Topology {
+	case HypercubeTopology:
 		if c.Dimensions < 1 || c.Dimensions > 20 {
 			return fmt.Errorf("mesh: hypercube dimensions %d invalid", c.Dimensions)
 		}
-	} else if c.Width < 1 || c.Height < 1 {
-		return fmt.Errorf("mesh: dimensions %dx%d invalid", c.Width, c.Height)
+	case FatTreeTopology:
+		if c.FatTreeArity < 2 || c.FatTreeLevels < 1 {
+			return fmt.Errorf("mesh: fat tree k=%d n=%d invalid (need arity >= 2, levels >= 1)",
+				c.FatTreeArity, c.FatTreeLevels)
+		}
+		if c.Nodes() > 1<<20 {
+			return fmt.Errorf("mesh: fat tree k=%d n=%d exceeds 2^20 endpoints", c.FatTreeArity, c.FatTreeLevels)
+		}
+	case DragonflyTopology:
+		if c.DragonflyRouters < 2 || c.DragonflyGlobals < 1 {
+			return fmt.Errorf("mesh: dragonfly a=%d h=%d invalid (need routers >= 2, globals >= 1)",
+				c.DragonflyRouters, c.DragonflyGlobals)
+		}
+	case MeshTopology, TorusTopology:
+		if len(c.Dims) > 0 {
+			if len(c.Dims) > 8 {
+				return fmt.Errorf("mesh: %d grid dimensions invalid (max 8)", len(c.Dims))
+			}
+			for _, k := range c.Dims {
+				if k < 1 || (c.Topology == TorusTopology && k < 2) {
+					return fmt.Errorf("mesh: grid dimension %d invalid for %s", k, c.Topology)
+				}
+			}
+		} else if c.Width < 1 || c.Height < 1 {
+			return fmt.Errorf("mesh: dimensions %dx%d invalid", c.Width, c.Height)
+		}
+	default:
+		return fmt.Errorf("mesh: unknown topology %s", c.Topology)
 	}
 	switch {
 	case c.FlitBytes < 1:
@@ -159,18 +278,39 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mesh: negative retry backoff")
 	case c.Topology == TorusTopology && c.VirtualChannels < 2:
 		return fmt.Errorf("mesh: torus requires >= 2 virtual channels for deadlock freedom")
-	case c.Routing == RoutingWestFirst && c.Topology != MeshTopology:
-		return fmt.Errorf("mesh: west-first routing is defined for the mesh topology only")
+	case c.Topology == DragonflyTopology && c.VirtualChannels < 2:
+		return fmt.Errorf("mesh: dragonfly requires >= 2 virtual channels for deadlock freedom")
+	case c.Routing == RoutingWestFirst && (c.Topology != MeshTopology || len(c.gridDims()) != 2):
+		return fmt.Errorf("mesh: west-first routing is defined for the 2-D mesh topology only")
 	}
 	return nil
 }
 
-// Nodes returns the number of routers (and attached processors).
+// Nodes returns the number of attached processors (addressable endpoints).
+// Indirect fabrics have additional internal switch nodes beyond these; see
+// Topology.Nodes.
 func (c Config) Nodes() int {
-	if c.Topology == HypercubeTopology {
+	switch c.Topology {
+	case HypercubeTopology:
 		return 1 << c.Dimensions
+	case FatTreeTopology:
+		n := 1
+		for i := 0; i < c.FatTreeLevels; i++ {
+			n *= c.FatTreeArity
+		}
+		return n
+	case DragonflyTopology:
+		return c.DragonflyRouters * (c.DragonflyRouters*c.DragonflyGlobals + 1)
+	default:
+		if len(c.Dims) > 0 {
+			n := 1
+			for _, k := range c.Dims {
+				n *= k
+			}
+			return n
+		}
+		return c.Width * c.Height
 	}
-	return c.Width * c.Height
 }
 
 // Flits returns the number of flits a message of the given byte length
@@ -183,12 +323,12 @@ func (c Config) Flits(bytes int) int {
 	return payload + c.HeaderFlits
 }
 
-// Coord converts a node index into (x, y) mesh coordinates.
+// Coord converts a node index into (x, y) mesh coordinates (2-D grids).
 func (c Config) Coord(node int) (x, y int) {
 	return node % c.Width, node / c.Width
 }
 
-// NodeAt converts (x, y) mesh coordinates into a node index.
+// NodeAt converts (x, y) mesh coordinates into a node index (2-D grids).
 func (c Config) NodeAt(x, y int) int {
 	return y*c.Width + x
 }

@@ -42,11 +42,14 @@ type hop struct {
 	lane int
 }
 
-// Network is the wormhole-routed fabric (2-D mesh, torus, or hypercube).
+// Network is the topology-agnostic wormhole engine: it owns the links,
+// lane arbitration, fault handling, and the delivery log, and delegates
+// wiring and path selection to the configured Topology.
 type Network struct {
 	sim    *sim.Simulator
 	cfg    Config
-	links  [][]*link // indexed [node][port]; grid ports are directions, cube ports are dimensions
+	topo   Topology
+	links  [][]*link // indexed [node][port], ports as numbered by the topology
 	nextID int64
 
 	log       []Delivery
@@ -66,47 +69,25 @@ func New(s *sim.Simulator, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{sim: s, cfg: cfg, pending: map[int64]Message{}}
+	n := &Network{sim: s, cfg: cfg, topo: cfg.Fabric(), pending: map[int64]Message{}}
 	s.AddDiagnostic("mesh", n.diagnostic)
-	n.links = make([][]*link, cfg.Nodes())
+	n.links = make([][]*link, n.topo.Nodes())
 	id := 0
-	mkLink := func(from, to int) *link {
-		l := &link{
-			id:    id,
-			from:  from,
-			to:    to,
-			lanes: make([]laneState, cfg.VirtualChannels),
-		}
-		id++
-		return l
-	}
-	if cfg.Topology == HypercubeTopology {
-		for node := 0; node < cfg.Nodes(); node++ {
-			ports := make([]*link, cfg.Dimensions)
-			for d := 0; d < cfg.Dimensions; d++ {
-				ports[d] = mkLink(node, node^(1<<d))
+	for node := range n.links {
+		ports := make([]*link, n.topo.Degree(node))
+		for port := range ports {
+			to := n.topo.Neighbor(node, port)
+			if to < 0 {
+				continue // unwired port (mesh boundary)
 			}
-			n.links[node] = ports
-		}
-		return n
-	}
-	for node := 0; node < cfg.Nodes(); node++ {
-		x, y := cfg.Coord(node)
-		ports := make([]*link, numDirections)
-		mk := func(dir direction, nx, ny int) {
-			if nx < 0 || nx >= cfg.Width || ny < 0 || ny >= cfg.Height {
-				if cfg.Topology != TorusTopology {
-					return
-				}
-				nx = (nx + cfg.Width) % cfg.Width
-				ny = (ny + cfg.Height) % cfg.Height
+			ports[port] = &link{
+				id:    id,
+				from:  node,
+				to:    to,
+				lanes: make([]laneState, cfg.VirtualChannels),
 			}
-			ports[dir] = mkLink(node, cfg.NodeAt(nx, ny))
+			id++
 		}
-		mk(dirEast, x+1, y)
-		mk(dirWest, x-1, y)
-		mk(dirNorth, x, y+1)
-		mk(dirSouth, x, y-1)
 		n.links[node] = ports
 	}
 	return n
@@ -114,6 +95,9 @@ func New(s *sim.Simulator, cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the fabric the network was built on.
+func (n *Network) Topology() Topology { return n.topo }
 
 // SetFaults installs a fault injector consulted on every hop and delivery.
 // Pass nil to disable injection. Must be set before the run starts.
@@ -179,90 +163,29 @@ func (n *Network) NextID() int64 {
 	return n.nextID
 }
 
-// route computes the dimension-order path from src to dst: XY on a grid
-// (with dateline virtual-channel classes on a torus), e-cube on a
-// hypercube.
+// route materializes the topology's deterministic path from src to dst:
+// links to traverse, with the topology's lane discipline attached (torus
+// datelines, fat-tree up/down, dragonfly minimal-path lane increment).
 func (n *Network) route(src, dst int) []hop {
-	cfg := n.cfg
-	if cfg.Topology == HypercubeTopology {
-		var path []hop
-		cur := src
-		for d := 0; d < cfg.Dimensions; d++ {
-			if (cur^dst)&(1<<d) != 0 {
-				path = append(path, hop{link: n.links[cur][d], lane: anyLane})
-				cur ^= 1 << d
-			}
+	steps := n.topo.Route(src, dst)
+	path := make([]hop, len(steps))
+	cur := src
+	for i, s := range steps {
+		l := n.links[cur][s.Port]
+		if l == nil {
+			panic(fmt.Sprintf("mesh: no port %d link at node %d", s.Port, cur))
 		}
-		return path
+		path[i] = hop{link: l, lane: s.Lane}
+		cur = l.to
 	}
-	x, y := cfg.Coord(src)
-	dx, dy := cfg.Coord(dst)
-	var path []hop
-
-	step := func(cur, target, size int, pos, neg direction) (int, direction, bool) {
-		if cur == target {
-			return 0, pos, false
-		}
-		if cfg.Topology == TorusTopology {
-			fwd := (target - cur + size) % size
-			if fwd <= size-fwd && fwd != 0 {
-				return fwd, pos, true
-			}
-			return size - fwd, neg, true
-		}
-		if target > cur {
-			return target - cur, pos, true
-		}
-		return cur - target, neg, true
-	}
-
-	walk := func(fromX, fromY int, horizontal bool) (int, int) {
-		cx, cy := fromX, fromY
-		var dist int
-		var dir direction
-		var move bool
-		if horizontal {
-			dist, dir, move = step(cx, dx, cfg.Width, dirEast, dirWest)
-		} else {
-			dist, dir, move = step(cy, dy, cfg.Height, dirNorth, dirSouth)
-		}
-		if !move {
-			return cx, cy
-		}
-		lane := 0
-		if cfg.Topology == MeshTopology {
-			lane = anyLane
-		}
-		for i := 0; i < dist; i++ {
-			node := cfg.NodeAt(cx, cy)
-			l := n.links[node][dir]
-			if l == nil {
-				panic(fmt.Sprintf("mesh: no %d link at node %d", dir, node))
-			}
-			path = append(path, hop{link: l, lane: lane})
-			nx, ny := cfg.Coord(l.to)
-			// Crossing the dateline (a wraparound hop) switches the
-			// virtual-channel class on a torus.
-			if cfg.Topology == TorusTopology {
-				if (dir == dirEast && nx < cx) || (dir == dirWest && nx > cx) ||
-					(dir == dirNorth && ny < cy) || (dir == dirSouth && ny > cy) {
-					lane = 1
-				}
-			}
-			cx, cy = nx, ny
-		}
-		return cx, cy
-	}
-
-	cx, cy := walk(x, y, true) // X first
-	cx, cy = walk(cx, cy, false)
-	if cfg.NodeAt(cx, cy) != dst {
-		panic(fmt.Sprintf("mesh: route %d->%d ended at %d", src, dst, cfg.NodeAt(cx, cy)))
+	if cur != dst {
+		panic(fmt.Sprintf("mesh: route %d->%d ended at %d", src, dst, cur))
 	}
 	return path
 }
 
-// Hops returns the XY route length in physical links between two nodes.
+// Hops returns the deterministic route length in physical links between
+// two endpoints.
 func (n *Network) Hops(src, dst int) int {
 	if src == dst {
 		return 0
@@ -289,9 +212,9 @@ func (n *Network) Path(src, dst int) [][2]int {
 // called before the simulator runs or at any point during the run, as long
 // as m.Inject is not in the simulated past.
 func (n *Network) Inject(m Message, done func(Delivery)) {
-	if m.Src < 0 || m.Src >= n.cfg.Nodes() || m.Dst < 0 || m.Dst >= n.cfg.Nodes() {
+	if eps := n.topo.Endpoints(); m.Src < 0 || m.Src >= eps || m.Dst < 0 || m.Dst >= eps {
 		panic(fmt.Sprintf("mesh: message %d has endpoints %d->%d outside %d-node fabric",
-			m.ID, m.Src, m.Dst, n.cfg.Nodes()))
+			m.ID, m.Src, m.Dst, eps))
 	}
 	if m.Bytes <= 0 {
 		panic(fmt.Sprintf("mesh: message %d has length %d", m.ID, m.Bytes))
@@ -563,29 +486,17 @@ func (n *Network) routeAvoiding(src, dst int, now sim.Time) []hop {
 	return path
 }
 
-// chooseWestFirst returns the next link under minimal west-first adaptive
-// routing: mandatory westward hops first, then the least-loaded productive
-// direction among east/north/south.
+// chooseWestFirst returns the next link under adaptive routing: the
+// topology names the candidate ports in preference order (west-first's
+// mandatory westward hops return a single candidate) and the engine picks
+// the least loaded, ties resolved to the earliest candidate so equal-seed
+// runs stay byte-identical.
 func (n *Network) chooseWestFirst(cur, dst int) *link {
-	cfg := n.cfg
-	cx, cy := cfg.Coord(cur)
-	dx, dy := cfg.Coord(dst)
 	ports := n.links[cur]
-	if dx < cx {
-		return ports[dirWest]
-	}
-	var candidates []*link
-	if dx > cx {
-		candidates = append(candidates, ports[dirEast])
-	}
-	if dy > cy {
-		candidates = append(candidates, ports[dirNorth])
-	} else if dy < cy {
-		candidates = append(candidates, ports[dirSouth])
-	}
-	best := candidates[0]
-	for _, l := range candidates[1:] {
-		if l.load() < best.load() {
+	candidates := n.topo.(Adaptive).AdaptiveNext(cur, dst)
+	best := ports[candidates[0]]
+	for _, p := range candidates[1:] {
+		if l := ports[p]; l.load() < best.load() {
 			best = l
 		}
 	}

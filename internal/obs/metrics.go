@@ -209,6 +209,42 @@ func (r *Registry) ConstGauge(name, help string, labels map[string]string, value
 	r.register(name, help, &constGauge{labels: rendered, value: value, vars: vars})
 }
 
+// vecFunc renders a whole labeled counter family from one snapshot
+// callback: each key of the returned map becomes a series with the
+// configured label, in sorted key order (scrapes are deterministic).
+type vecFunc struct {
+	label string
+	fn    func() map[string]int64
+}
+
+func (v *vecFunc) kind() string { return "counter" }
+func (v *vecFunc) writeProm(w io.Writer, name string) error {
+	m := v.fn()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%s} %d\n", name, v.label, strconv.Quote(k), m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (v *vecFunc) exportVar() any { return v.fn() }
+
+// CounterVecFunc registers a labeled counter family whose series are read
+// from fn at scrape time: fn returns label-value -> count. The family
+// grows lazily as the callback's map does — the shape of per-topology
+// metrics, where the label values are not known at registration time.
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, &vecFunc{label: label, fn: fn})
+}
+
 // DefBuckets are the default histogram bucket upper bounds, in seconds,
 // spanning sub-millisecond cache hits to minute-long cold sweeps.
 var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}

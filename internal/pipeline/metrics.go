@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"commchar/internal/obs"
@@ -40,6 +41,49 @@ type Metrics struct {
 	SpecFailures  atomic.Int64 // specs that produced no artifact
 	Resumed       atomic.Int64 // journaled specs recognized as already complete
 	JournalErrors atomic.Int64 // best-effort journal appends that failed
+
+	// Per-topology accounting, keyed by the interconnect family that a run
+	// actually simulated on ("mesh", "torus", "hypercube", "fattree",
+	// "dragonfly"). Exported as labeled commchar_mesh_* counter families;
+	// absent from the text Summary so its byte layout stays stable.
+	topoMu    sync.Mutex
+	topoRuns  map[string]int64
+	topoMsgs  map[string]int64
+	topoSimNS map[string]int64
+}
+
+// topoRun records one executed simulation on the named topology: the run
+// itself, the messages its network log delivered, and its simulated time.
+func (m *Metrics) topoRun(topology string, messages, simNS int64) {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	if m.topoRuns == nil {
+		m.topoRuns = map[string]int64{}
+		m.topoMsgs = map[string]int64{}
+		m.topoSimNS = map[string]int64{}
+	}
+	m.topoRuns[topology]++
+	m.topoMsgs[topology] += messages
+	m.topoSimNS[topology] += simNS
+}
+
+// TopoRuns returns the per-topology executed-run counts (a copy).
+func (m *Metrics) TopoRuns() map[string]int64 { return m.topoSnapshot(&m.topoRuns) }
+
+// TopoMessages returns the per-topology delivered-message counts (a copy).
+func (m *Metrics) TopoMessages() map[string]int64 { return m.topoSnapshot(&m.topoMsgs) }
+
+// TopoSimTimeNS returns the per-topology simulated time in ns (a copy).
+func (m *Metrics) TopoSimTimeNS() map[string]int64 { return m.topoSnapshot(&m.topoSimNS) }
+
+func (m *Metrics) topoSnapshot(src *map[string]int64) map[string]int64 {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	out := make(map[string]int64, len(*src))
+	for k, v := range *src {
+		out[k] = v
+	}
+	return out
 }
 
 // Summary renders the counters as a report table: the pipeline's per-run
@@ -123,4 +167,10 @@ func (m *Metrics) RegisterWith(r *obs.Registry) {
 	counter("spec_failures_total", "specs that produced no artifact", &m.SpecFailures)
 	counter("resumed_total", "journaled specs recognized as already complete", &m.Resumed)
 	counter("journal_errors_total", "best-effort journal appends that failed", &m.JournalErrors)
+	r.CounterVecFunc("commchar_mesh_runs_total",
+		"simulations executed per interconnect topology", "topology", m.TopoRuns)
+	r.CounterVecFunc("commchar_mesh_messages_total",
+		"network-log messages recorded per interconnect topology", "topology", m.TopoMessages)
+	r.CounterVecFunc("commchar_mesh_sim_time_ns_total",
+		"simulated time accumulated per interconnect topology", "topology", m.TopoSimTimeNS)
 }

@@ -234,6 +234,7 @@ func newEngine(opts Options) *Engine {
 			"most recently reported simulated clock (ns) of an in-flight run")
 		e.simEvents = r.Gauge("commchar_sim_events_fired",
 			"most recently reported cumulative event count of an in-flight run")
+		opts.Obs.HandleDebug("/topoz", topozHandler(metrics))
 	}
 	e.runStages = e.acquire
 	return e
@@ -591,6 +592,7 @@ func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (
 	e.metrics.Runs.Add(1)
 	e.metrics.SimEvents.Add(res.raw.Events)
 	e.metrics.SimTimeNS.Add(int64(res.raw.Elapsed))
+	e.metrics.topoRun(e.meshConfig(spec).Topology.String(), int64(len(res.raw.Log)), int64(res.raw.Elapsed))
 	var faulted, failed int64
 	for _, d := range res.raw.Log {
 		if d.Faults != 0 {
@@ -640,9 +642,18 @@ func (e *Engine) runRemote(ctx context.Context, spec RunSpec, key, track string)
 	return &a, nil
 }
 
-// meshConfig builds the run's mesh configuration from the spec overrides.
+// meshConfig builds the run's interconnect configuration from the spec
+// overrides: the named topology (default 2-D mesh), sized for the spec's
+// processors unless Dims (or the legacy Width/Height) pins the shape.
+// validate has already vetted the topology, so the fallible sizing step
+// cannot fail here.
 func (e *Engine) meshConfig(spec RunSpec) mesh.Config {
-	cfg := core.MeshFor(spec.Procs)
+	cfg, err := core.TopologyFor(spec.Topology, spec.Dims, spec.Procs)
+	if err != nil {
+		// Unreachable after validate; keep the legacy geometry rather than
+		// panicking inside a worker.
+		cfg = core.MeshFor(spec.Procs)
+	}
 	if spec.Width > 0 {
 		cfg = mesh.DefaultConfig(spec.Width, spec.Height)
 	}

@@ -5,10 +5,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"commchar/internal/apps"
 	"commchar/internal/ccnuma"
+	"commchar/internal/cli"
+	"commchar/internal/core"
 	"commchar/internal/mesh"
 	"commchar/internal/sim"
 	"commchar/internal/spasm"
@@ -46,6 +49,18 @@ type RunSpec struct {
 	Protocol        ccnuma.Protocol       // coherence protocol (dynamic strategy)
 	Routing         mesh.RoutingAlgorithm // mesh routing algorithm
 
+	// Topology selects the interconnect fabric by name (see
+	// core.TopologyFor): "mesh" (the default when empty), "torus",
+	// "torus3d", "torus4d", "hypercube", "fattree", or "dragonfly". Dims,
+	// when non-nil, pins the fabric's shape instead of deriving the
+	// smallest instance that fits Procs: per-dimension sizes for
+	// mesh/torus*, [d] for a hypercube, [arity, levels] for a fat tree,
+	// [routers, globals] for a dragonfly. The zero values select the
+	// historical 2-D mesh and render nothing into the spec string, so
+	// existing cache keys and journals stay valid.
+	Topology string
+	Dims     []int
+
 	// Fault injection: a deterministic schedule (see internal/fault) and
 	// its seed. Empty means a fault-free run.
 	Faults    string
@@ -82,6 +97,10 @@ func (s RunSpec) Label() string {
 }
 
 // validate rejects malformed specs before any simulation runs.
+// Topology-invalid specs — unknown fabric name, a shape too small for
+// Procs, a lane count below the fabric's deadlock-freedom floor — are
+// usage errors (exit code 2): the sweep fails fast here instead of
+// mid-replay.
 func (s RunSpec) validate() error {
 	if (s.App == "") == (s.Trace == nil) {
 		return fmt.Errorf("pipeline: spec needs exactly one of App or Trace")
@@ -95,21 +114,63 @@ func (s RunSpec) validate() error {
 	if s.Width > 0 && s.Width*s.Height < s.Procs {
 		return fmt.Errorf("pipeline: %dx%d mesh too small for %d processors", s.Width, s.Height, s.Procs)
 	}
+	if s.Topology != "" || s.Dims != nil {
+		if s.Width > 0 && s.Topology != "mesh" {
+			return cli.Usagef("pipeline: Width/Height override applies to the mesh topology only, not %q", s.Topology)
+		}
+		cfg, err := core.TopologyFor(s.Topology, s.Dims, s.Procs)
+		if err != nil {
+			return cli.Usagef("pipeline: %v", err)
+		}
+		if s.VirtualChannels > 0 {
+			cfg.VirtualChannels = s.VirtualChannels
+		}
+		cfg.Routing = s.Routing
+		if err := cfg.Validate(); err != nil {
+			return cli.Usagef("pipeline: %v", err)
+		}
+	}
 	return nil
 }
 
+// String renders the spec's canonical machine-configuration string: every
+// result-affecting field except the trace content, in a fixed order. It is
+// the exact byte sequence hashed into the cache key (after the salt), so
+// its stability is a compatibility contract: zero-valued Topology/Dims
+// render nothing, keeping keys from before the topology generalization
+// valid.
+func (s RunSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app=%s|procs=%d|scale=%d|", s.App, s.Procs, s.Scale)
+	fmt.Fprintf(&b, "cycle=%d|cache=%d|vcs=%d|mesh=%dx%d|barrier=%d|protocol=%d|routing=%d|",
+		s.CycleTime, s.CacheBytes, s.VirtualChannels, s.Width, s.Height, s.Barrier, s.Protocol, s.Routing)
+	fmt.Fprintf(&b, "faults=%s|faultseed=%d|sp2=%t|", s.Faults, s.FaultSeed, s.UseSP2)
+	if s.Topology != "" {
+		fmt.Fprintf(&b, "topo=%s|", s.Topology)
+	}
+	if len(s.Dims) > 0 {
+		b.WriteString("dims=")
+		for i, d := range s.Dims {
+			if i > 0 {
+				b.WriteByte('x')
+			}
+			fmt.Fprintf(&b, "%d", d)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
 // Key returns the spec's content-addressed cache key: a hex SHA-256 over
-// the canonical rendering of every result-affecting field plus the
-// code-version salt. Trace specs hash the full trace content.
+// the canonical rendering (String) of every result-affecting field plus
+// the code-version salt. Trace specs hash the full trace content.
 func (s RunSpec) Key(salt string) (string, error) {
 	if salt == "" {
 		salt = DefaultSalt
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "salt=%s|app=%s|procs=%d|scale=%d|", salt, s.App, s.Procs, s.Scale)
-	fmt.Fprintf(h, "cycle=%d|cache=%d|vcs=%d|mesh=%dx%d|barrier=%d|protocol=%d|routing=%d|",
-		s.CycleTime, s.CacheBytes, s.VirtualChannels, s.Width, s.Height, s.Barrier, s.Protocol, s.Routing)
-	fmt.Fprintf(h, "faults=%s|faultseed=%d|sp2=%t|", s.Faults, s.FaultSeed, s.UseSP2)
+	fmt.Fprintf(h, "salt=%s|", salt)
+	io.WriteString(h, s.String())
 	if s.Trace != nil {
 		io.WriteString(h, "trace=")
 		if err := s.Trace.WriteCSV(h); err != nil {
