@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	workers := fs.String("workers", "", "comma-separated sweepd worker control URLs: run remotely on this fleet")
 	distListen := fs.String("dist-listen", "127.0.0.1:0", "address to serve the coordinator lease API on (with -workers)")
 	distAdvertise := fs.String("dist-advertise", "", "coordinator URL advertised to the workers (default: the bound -dist-listen address)")
+	blobDir := fs.String("blob-dir", "", "serve a shared artifact blob store from this directory to the fleet (with -workers)")
 	pf := pipeline.AddFlags(fs)
 	of := obs.AddFlags(fs)
 	cf := cli.AddCommonFlags(fs)
@@ -95,11 +96,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer ob.Close()
+	var coord *dist.Coordinator
 	if *workers != "" {
 		// Client mode: serve a coordinator for the fleet and route the
 		// run's cache miss (if any) through it. The report is identical to
 		// a local run by the determinism invariant.
-		coord := dist.NewCoordinator(dist.CoordinatorOptions{Obs: ob})
+		var store *dist.BlobStore
+		if *blobDir != "" {
+			store, err = dist.NewBlobStore(*blobDir)
+			if err != nil {
+				return err
+			}
+		}
+		coord = dist.NewCoordinator(dist.CoordinatorOptions{Obs: ob, Store: store})
 		ln, err := net.Listen("tcp", *distListen)
 		if err != nil {
 			return fmt.Errorf("coordinator listener: %w", err)
@@ -175,6 +184,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("writing trace: %w", err)
 		}
 		fmt.Fprintf(stdout, "application trace (%d messages) written to %s\n", c.Trace.Messages(), *traceOut)
+	}
+	if coord != nil && coord.Degraded() {
+		// The report above is complete and correct; exit 3 flags the
+		// reduced fleet health (store fallbacks, rescued stragglers).
+		m := coord.Metrics()
+		return &dist.DegradedError{
+			StoreReports: m.DegradedReports.Load(),
+			Rescues:      m.Rescues.Load(),
+		}
 	}
 	return nil
 }

@@ -23,6 +23,12 @@
 //	sweepd -worker -join http://127.0.0.1:7701 -cache-dir .cache/w1
 //	sweepd -worker -listen 127.0.0.1:7801 -cache-dir .cache/w1   (wait for /v1/attach)
 //	sweepd -coordinator -local ...                               (reference run, no fleet)
+//	sweepd -coordinator -blob-dir .cache/blobs -speculate-factor 3 ...   (shared store + hedging)
+//	sweepd -worker -join ... -net-chaos 'drop:0.2;delay:0.5:5ms' -net-chaos-seed 7   (chaos)
+//
+// A sweep that completes with every report but degraded fleet health —
+// workers fell back from the shared store, or a straggler was rescued by
+// a speculative re-lease — exits 3 (dist.DegradedError), not 0.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/core"
 	"commchar/internal/dist"
+	"commchar/internal/fault"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
@@ -63,8 +70,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	workers := fs.String("workers", "", "comma-separated worker control URLs to attach at startup (coordinator mode)")
 	advertise := fs.String("advertise", "", "coordinator URL advertised to attached workers (default: the bound -listen address)")
 	local := fs.Bool("local", false, "run the sweep in-process instead of distributing: the reference a distributed run must match")
+	blobDir := fs.String("blob-dir", "", "serve a shared artifact blob store from this directory (coordinator mode); workers read through it and the coordinator feeds it from completions")
+	speculate := fs.Float64("speculate-factor", 0, "hedge a straggler onto an idle worker once its stage exceeds this factor times the median stage time (coordinator mode; 0 disables)")
 	name := fs.String("name", "", "worker name reported in leases and lost-worker events (default: host-pid)")
 	join := fs.String("join", "", "coordinator URL to poll until its sweep completes (worker mode)")
+	netChaos := fs.String("net-chaos", "", "inject seeded network faults into this worker's coordinator and store clients, e.g. 'drop:0.2;delay:0.5:10ms' (see internal/fault)")
+	netChaosSeed := fs.Uint64("net-chaos-seed", 1, "seed for the -net-chaos schedule")
 	pf := pipeline.AddFlags(fs)
 	of := obs.AddFlags(fs)
 	cf := cli.AddCommonFlags(fs)
@@ -88,14 +99,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *worker {
 		return runWorker(ctx, workerConfig{
 			listen: *listen, name: *name, join: *join,
-			lease: *lease, pf: pf, cf: cf,
+			lease: *lease, netChaos: *netChaos, netChaosSeed: *netChaosSeed,
+			pf: pf, cf: cf,
 		}, ob, stdout, stderr)
 	}
 	return runCoordinator(ctx, coordinatorConfig{
 		listen: *listen, apps: *appsFlag, procs: *procsFlag,
 		topologies: *topoFlag, scale: *scale,
 		lease: *lease, maxAttempts: *maxAttempts, workers: *workers,
-		advertise: *advertise, local: *local, pf: pf, cf: cf,
+		advertise: *advertise, local: *local,
+		blobDir: *blobDir, speculate: *speculate, pf: pf, cf: cf,
 	}, ob, stdout, stderr)
 }
 
@@ -110,6 +123,8 @@ type coordinatorConfig struct {
 	workers     string
 	advertise   string
 	local       bool
+	blobDir     string
+	speculate   float64
 	pf          *pipeline.Flags
 	cf          *cli.CommonFlags
 }
@@ -122,10 +137,19 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig, ob *obs.Observer
 
 	var coord *dist.Coordinator
 	if !cfg.local {
+		var store *dist.BlobStore
+		if cfg.blobDir != "" {
+			store, err = dist.NewBlobStore(cfg.blobDir)
+			if err != nil {
+				return err
+			}
+		}
 		coord = dist.NewCoordinator(dist.CoordinatorOptions{
-			Lease:       cfg.lease,
-			MaxAttempts: cfg.maxAttempts,
-			Obs:         ob,
+			Lease:           cfg.lease,
+			MaxAttempts:     cfg.maxAttempts,
+			Obs:             ob,
+			Store:           store,
+			SpeculateFactor: cfg.speculate,
 		})
 		addr := cfg.listen
 		if addr == "" {
@@ -182,17 +206,29 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig, ob *obs.Observer
 		// unreachable grace against a dead address.
 		coord.Finish()
 		coord.Drain(ctx, cfg.lease)
+		if runErr == nil && coord.Degraded() {
+			// Every report above is complete and correct, but the sweep ran
+			// at reduced fleet health (store fallbacks, rescued stragglers):
+			// exit 3 so operators notice without diffing metrics.
+			m := coord.Metrics()
+			runErr = &dist.DegradedError{
+				StoreReports: m.DegradedReports.Load(),
+				Rescues:      m.Rescues.Load(),
+			}
+		}
 	}
 	return runErr
 }
 
 type workerConfig struct {
-	listen string
-	name   string
-	join   string
-	lease  time.Duration
-	pf     *pipeline.Flags
-	cf     *cli.CommonFlags
+	listen       string
+	name         string
+	join         string
+	lease        time.Duration
+	netChaos     string
+	netChaosSeed uint64
+	pf           *pipeline.Flags
+	cf           *cli.CommonFlags
 }
 
 func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, stderr io.Writer) error {
@@ -208,6 +244,34 @@ func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, 
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	// Each chaos-injected client owns its RoundTripper (its own request
+	// ordinal stream); the store client's seed is decorrelated so the two
+	// schedules fault independently.
+	var rpcChaos, storeChaos http.RoundTripper
+	if cfg.netChaos != "" {
+		sched, err := fault.ParseNet(cfg.netChaos, cfg.netChaosSeed)
+		if err != nil {
+			return cli.Usagef("-net-chaos: %v", err)
+		}
+		storeSched, err := fault.ParseNet(cfg.netChaos, cfg.netChaosSeed+1)
+		if err != nil {
+			return cli.Usagef("-net-chaos: %v", err)
+		}
+		rpcChaos = fault.NewRoundTripper(sched, nil)
+		storeChaos = fault.NewRoundTripper(storeSched, nil)
+		fmt.Fprintf(stderr, "worker %s: net chaos %q (seed %d)\n", name, cfg.netChaos, cfg.netChaosSeed)
+	}
+
+	// The shared-store client is created detached; it activates when a
+	// coordinator advertises its blob store in a lease. Until then every
+	// Get is a miss and every Put a no-op.
+	dm := &dist.Metrics{}
+	if ob != nil {
+		dm.RegisterWith(ob.Registry)
+	}
+	store := dist.NewHTTPStore(dist.HTTPStoreOptions{Obs: ob, Metrics: dm, Transport: storeChaos})
+	cfg.pf.Store = store
+
 	eng, err := cfg.pf.EngineObserved(ob)
 	if err != nil {
 		return err
@@ -217,7 +281,10 @@ func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, 
 		defer eng.Metrics().Render(stderr)
 	}
 
-	w, err := dist.NewWorker(dist.WorkerOptions{Name: name, Runner: eng, Obs: ob})
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		Name: name, Runner: eng, Obs: ob,
+		Store: store, Transport: rpcChaos,
+	})
 	if err != nil {
 		return err
 	}

@@ -33,11 +33,21 @@ type item struct {
 	key      string
 	label    string
 
-	state    string
-	worker   string    // lease holder while leased
-	deadline time.Time // lease expiry while leased
-	stage    string    // last heartbeat-reported pipeline stage
-	attempts int       // leases granted for this item
+	state      string
+	worker     string    // lease holder while leased
+	deadline   time.Time // lease expiry while leased
+	leaseStart time.Time // when the current holder's lease was granted
+	stage      string    // last heartbeat-reported pipeline stage
+	stageStart time.Time // when the current stage began (grant, or last stage change)
+	attempts   int       // leases granted for this item
+
+	// Speculative re-lease (straggler hedging) state. hedgePending marks
+	// the item flagged for hedging and re-queued; the hedge fields hold
+	// the second, concurrent lease once an idle worker picks it up.
+	hedgePending  bool
+	hedgeWorker   string
+	hedgeDeadline time.Time
+	hedgeStart    time.Time
 
 	done chan struct{} // closed exactly once on done or failed
 	art  *pipeline.Artifact
@@ -58,6 +68,22 @@ type CoordinatorOptions struct {
 	// Metrics receives the commchar_dist_* counters; nil allocates a
 	// private set.
 	Metrics *Metrics
+	// Store, when non-nil, is the shared blob store the coordinator
+	// serves to its fleet: Handler mounts GET/PUT /v1/blob/{key} on it,
+	// leases advertise it, and every accepted completion is fed into it
+	// write-behind.
+	Store *BlobStore
+	// SpeculateFactor enables speculative re-lease of stragglers: a
+	// leased spec whose current stage has run longer than SpeculateFactor
+	// times the running median stage duration is hedged onto an idle
+	// worker (first finish wins; completions are idempotent). 0 (the
+	// default) disables hedging — duplicate simulation work is only worth
+	// it when the operator says so.
+	SpeculateFactor float64
+	// Clock supplies the coordinator's time base; nil means the
+	// observer's clock (the system clock when unobserved). Tests inject
+	// an obs.Fake to drive lease expiry and hedging deterministically.
+	Clock obs.Clock
 }
 
 // A Coordinator owns the distributed work queue: it implements
@@ -69,16 +95,21 @@ type CoordinatorOptions struct {
 // cache key: whichever worker delivers first wins, later deliveries are
 // acknowledged as duplicates and discarded.
 type Coordinator struct {
-	lease       time.Duration
-	maxAttempts int
-	ob          *obs.Observer
-	metrics     *Metrics
+	lease           time.Duration
+	maxAttempts     int
+	ob              *obs.Observer
+	metrics         *Metrics
+	store           *BlobStore
+	speculateFactor float64
+	clock           obs.Clock
 
 	mu        sync.Mutex
 	nextID    uint64
 	items     map[uint64]*item
 	queue     []uint64 // FIFO of item ids; entries may be stale (lazy skip)
 	finished  bool
+	degraded  bool            // store fallback reported, or a straggler rescued
+	durations []time.Duration // completed stage durations (speculation median)
 	lost      map[string]bool // workers currently presumed lost
 	seen      map[string]bool // workers that have ever polled for a lease
 	dismissed map[string]bool // workers answered StatusDone since Finish
@@ -97,15 +128,21 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if opts.Metrics == nil {
 		opts.Metrics = &Metrics{}
 	}
+	if opts.Clock == nil {
+		opts.Clock = opts.Obs.ClockOrSystem()
+	}
 	return &Coordinator{
-		lease:       opts.Lease,
-		maxAttempts: opts.MaxAttempts,
-		ob:          opts.Obs,
-		metrics:     opts.Metrics,
-		items:       map[uint64]*item{},
-		lost:        map[string]bool{},
-		seen:        map[string]bool{},
-		dismissed:   map[string]bool{},
+		lease:           opts.Lease,
+		maxAttempts:     opts.MaxAttempts,
+		ob:              opts.Obs,
+		metrics:         opts.Metrics,
+		store:           opts.Store,
+		speculateFactor: opts.SpeculateFactor,
+		clock:           opts.Clock,
+		items:           map[uint64]*item{},
+		lost:            map[string]bool{},
+		seen:            map[string]bool{},
+		dismissed:       map[string]bool{},
 	}
 }
 
@@ -113,11 +150,23 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 // debug server's registry).
 func (c *Coordinator) Metrics() *Metrics { return c.metrics }
 
+// Degraded reports whether the sweep completed degraded: some worker
+// fell back from the shared store, or a straggler had to be rescued by a
+// speculative re-lease. The results are still complete and correct —
+// degradation is an availability finding, surfaced as exit code 3 so
+// operators notice without diffing metrics.
+func (c *Coordinator) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
 // Start runs the lease-expiry sweep until ctx is cancelled. Leases are
 // checked at a quarter of the lease interval, so an expired lease is
 // re-enqueued at most 1.25 lease durations after its last heartbeat.
 func (c *Coordinator) Start(ctx context.Context) {
 	go func() {
+		//lint:allow determinism the expiry sweep needs a real ticker; the Clock seam only supplies Now, and every decision the tick triggers goes through c.clock
 		tick := time.NewTicker(c.lease / 4)
 		defer tick.Stop()
 		for {
@@ -125,7 +174,7 @@ func (c *Coordinator) Start(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-tick.C:
-				c.expire(time.Now())
+				c.expire(c.clock.Now())
 			}
 		}
 	}()
@@ -188,9 +237,10 @@ func (c *Coordinator) abandon(it *item, err error) {
 	close(it.done)
 }
 
-// expire re-enqueues every leased item whose deadline has passed. The
-// expiry is an event, not a failure: the work moves to another worker,
-// unless the spec has exhausted its attempt budget.
+// expire re-enqueues every leased item whose deadline has passed, then
+// flags stragglers for speculative re-lease. The expiry is an event, not
+// a failure: the work moves to another worker, unless the spec has
+// exhausted its attempt budget.
 func (c *Coordinator) expire(now time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -198,36 +248,116 @@ func (c *Coordinator) expire(now time.Time) {
 	// decide which expired spec re-runs first.
 	var expiredIDs []uint64
 	for id, it := range c.items {
-		if it.state == stateLeased && !now.Before(it.deadline) {
+		if it.state != stateLeased {
+			continue
+		}
+		if !now.Before(it.deadline) || (it.hedgeWorker != "" && !now.Before(it.hedgeDeadline)) {
 			expiredIDs = append(expiredIDs, id)
 		}
 	}
 	slices.Sort(expiredIDs)
 	for _, id := range expiredIDs {
 		it := c.items[id]
-		worker := it.worker
-		c.metrics.LeaseExpiries.Add(1)
-		c.emit("dist.lease.expired", map[string]string{
-			"spec": it.label, "key": it.key, "worker": worker,
-			"attempt": strconv.Itoa(it.attempts),
-		})
-		if !c.lost[worker] {
-			c.lost[worker] = true
-			c.metrics.WorkersLost.Add(1)
-			c.emit("dist.worker.lost", map[string]string{"worker": worker})
+		primaryExpired := !now.Before(it.deadline)
+		hedgeExpired := it.hedgeWorker != "" && !now.Before(it.hedgeDeadline)
+
+		if hedgeExpired {
+			c.expireLease(it, it.hedgeWorker, "hedge")
+			it.hedgeWorker, it.hedgeDeadline, it.hedgeStart = "", time.Time{}, time.Time{}
+		}
+		if !primaryExpired {
+			continue // only the hedge died; the primary lease stands
+		}
+		c.expireLease(it, it.worker, "primary")
+		if it.hedgeWorker != "" {
+			// The primary expired under a live hedge: promote the hedge to
+			// sole holder instead of re-enqueueing — the work is already
+			// running on a healthy worker.
+			c.emit("dist.hedge.promoted", map[string]string{
+				"spec": it.label, "key": it.key, "worker": it.hedgeWorker,
+			})
+			it.worker, it.deadline, it.leaseStart = it.hedgeWorker, it.hedgeDeadline, it.hedgeStart
+			it.stageStart = it.hedgeStart
+			it.hedgeWorker, it.hedgeDeadline, it.hedgeStart = "", time.Time{}, time.Time{}
+			continue
 		}
 		if it.attempts >= c.maxAttempts {
 			it.state = stateFailed
 			it.err = fmt.Errorf("dist: spec %s: lease expired on attempt %d/%d (last worker %s)",
-				it.label, it.attempts, c.maxAttempts, worker)
+				it.label, it.attempts, c.maxAttempts, it.worker)
 			close(it.done)
 			continue
 		}
 		it.state = statePending
 		it.worker, it.stage = "", ""
+		it.leaseStart, it.stageStart = time.Time{}, time.Time{}
+		it.hedgePending = false
 		c.queue = append(c.queue, it.id)
 		c.metrics.Requeues.Add(1)
 	}
+	c.speculate(now)
+}
+
+// expireLease records one expired lease (primary or hedge) and marks its
+// holder lost. Callers hold mu.
+func (c *Coordinator) expireLease(it *item, worker, role string) {
+	c.metrics.LeaseExpiries.Add(1)
+	c.emit("dist.lease.expired", map[string]string{
+		"spec": it.label, "key": it.key, "worker": worker, "role": role,
+		"attempt": strconv.Itoa(it.attempts),
+	})
+	if !c.lost[worker] {
+		c.lost[worker] = true
+		c.metrics.WorkersLost.Add(1)
+		c.emit("dist.worker.lost", map[string]string{"worker": worker})
+	}
+}
+
+// speculate flags stragglers for hedging: any singly-leased item whose
+// current stage has outlived the speculation threshold is re-queued so
+// an idle worker can race the (possibly hung) holder. The running median
+// of completed stage durations is the yardstick — with no completions
+// yet there is no yardstick, and lease expiry remains the only backstop.
+// Callers hold mu.
+func (c *Coordinator) speculate(now time.Time) {
+	if c.speculateFactor <= 0 || len(c.durations) == 0 {
+		return
+	}
+	med := c.medianDuration()
+	threshold := time.Duration(c.speculateFactor * float64(med))
+	if threshold <= 0 {
+		return
+	}
+	var ids []uint64
+	for id, it := range c.items {
+		if it.state != stateLeased || it.hedgePending || it.hedgeWorker != "" {
+			continue
+		}
+		if it.stageStart.IsZero() || now.Sub(it.stageStart) <= threshold {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		it := c.items[id]
+		it.hedgePending = true
+		c.queue = append(c.queue, id)
+		c.metrics.Speculations.Add(1)
+		c.emit("dist.speculate", map[string]string{
+			"spec": it.label, "key": it.key, "worker": it.worker,
+			"stage": it.stage, "stage_age": now.Sub(it.stageStart).String(),
+			"threshold": threshold.String(),
+		})
+	}
+}
+
+// medianDuration returns the running median of completed stage
+// durations. Callers hold mu and have checked len(durations) > 0.
+func (c *Coordinator) medianDuration() time.Duration {
+	sorted := slices.Clone(c.durations)
+	slices.Sort(sorted)
+	return sorted[len(sorted)/2]
 }
 
 // touch records a sign of life from worker, clearing any lost mark.
@@ -241,37 +371,65 @@ func (c *Coordinator) touch(worker string) {
 	}
 }
 
-// grant pops the next pending item and leases it to worker.
+// grant pops the next grantable queue entry and leases it to worker: a
+// pending item as a primary lease, or a hedge-flagged straggler as a
+// speculative second lease (never to the straggler's own holder — the
+// whole point is a different worker).
 func (c *Coordinator) grant(worker string) LeaseResponse {
-	now := time.Now()
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touch(worker)
 	if worker != "" {
 		c.seen[worker] = true
 	}
-	for len(c.queue) > 0 {
+	// Bound the scan to the current queue length: a hedge entry this
+	// worker cannot take is pushed back, and without the bound that one
+	// entry would spin this loop forever.
+	for i, n := 0, len(c.queue); i < n && len(c.queue) > 0; i++ {
 		id := c.queue[0]
 		c.queue = c.queue[1:]
 		it := c.items[id]
-		if it == nil || it.state != statePending {
-			continue // stale queue entry: leased elsewhere, done, or abandoned
+		if it == nil {
+			continue
 		}
-		it.state = stateLeased
-		it.worker = worker
-		it.deadline = now.Add(c.lease)
-		it.attempts++
-		c.metrics.LeasesGranted.Add(1)
-		c.emit("dist.lease.granted", map[string]string{
-			"spec": it.label, "key": it.key, "worker": worker,
-			"attempt": strconv.Itoa(it.attempts),
-		})
+		switch {
+		case it.state == statePending:
+			it.state = stateLeased
+			it.worker = worker
+			it.deadline = now.Add(c.lease)
+			it.leaseStart, it.stageStart = now, now
+			it.attempts++
+			c.metrics.LeasesGranted.Add(1)
+			c.emit("dist.lease.granted", map[string]string{
+				"spec": it.label, "key": it.key, "worker": worker,
+				"attempt": strconv.Itoa(it.attempts),
+			})
+		case it.state == stateLeased && it.hedgePending:
+			if worker == "" || worker == it.worker {
+				c.queue = append(c.queue, id) // keep the hedge for another poller
+				continue
+			}
+			it.hedgePending = false
+			it.hedgeWorker = worker
+			it.hedgeDeadline = now.Add(c.lease)
+			it.hedgeStart = now
+			it.attempts++
+			c.metrics.LeasesGranted.Add(1)
+			c.emit("dist.lease.hedged", map[string]string{
+				"spec": it.label, "key": it.key, "worker": worker,
+				"holder": it.worker, "attempt": strconv.Itoa(it.attempts),
+			})
+		default:
+			continue // stale queue entry: done, failed, or abandoned
+		}
 		return LeaseResponse{
 			Status:  StatusLease,
 			ID:      it.id,
 			Spec:    it.specJSON,
 			Key:     it.key,
 			LeaseMS: c.lease.Milliseconds(),
+			Store:   c.store != nil,
 		}
 	}
 	if c.finished {
@@ -290,7 +448,7 @@ func (c *Coordinator) grant(worker string) LeaseResponse {
 // The wait is bounded by ctx and timeout: a worker that died while idle
 // never polls again and must not pin the coordinator on its way out.
 func (c *Coordinator) Drain(ctx context.Context, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clock.Now().Add(timeout)
 	for {
 		c.mu.Lock()
 		waiting := 0
@@ -300,7 +458,7 @@ func (c *Coordinator) Drain(ctx context.Context, timeout time.Duration) {
 			}
 		}
 		c.mu.Unlock()
-		if waiting == 0 || ctx.Err() != nil || !time.Now().Before(deadline) {
+		if waiting == 0 || ctx.Err() != nil || !c.clock.Now().Before(deadline) {
 			return
 		}
 		if !sleepCtx(ctx, 25*time.Millisecond) {
@@ -309,19 +467,34 @@ func (c *Coordinator) Drain(ctx context.Context, timeout time.Duration) {
 	}
 }
 
-// heartbeat extends worker's lease on item id; Abandon reports that the
-// lease is no longer held.
+// heartbeat extends worker's lease on item id — the primary or the
+// hedge, whichever the worker holds; Abandon reports that the lease is
+// no longer held. A stage change reported by the primary holder closes
+// out the previous stage's duration for the speculation median and
+// restarts the straggler stopwatch.
 func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touch(req.Worker)
 	it := c.items[req.ID]
-	if it == nil || it.state != stateLeased || it.worker != req.Worker {
+	if it == nil || it.state != stateLeased {
 		return HeartbeatResponse{Abandon: true}
 	}
-	it.deadline = time.Now().Add(c.lease)
-	if req.Stage != "" {
-		it.stage = req.Stage
+	switch req.Worker {
+	case it.worker:
+		it.deadline = now.Add(c.lease)
+		if req.Stage != "" && req.Stage != it.stage {
+			if it.stage != "" && !it.stageStart.IsZero() {
+				c.durations = append(c.durations, now.Sub(it.stageStart))
+			}
+			it.stage = req.Stage
+			it.stageStart = now
+		}
+	case it.hedgeWorker:
+		it.hedgeDeadline = now.Add(c.lease)
+	default:
+		return HeartbeatResponse{Abandon: true}
 	}
 	c.metrics.Heartbeats.Add(1)
 	return HeartbeatResponse{}
@@ -334,6 +507,7 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 // lands first wins, the rest are duplicates.
 func (c *Coordinator) complete(req CompleteRequest) (CompleteResponse, error) {
 	c.mu.Lock()
+	c.noteStoreDegraded(req)
 	it := c.items[req.ID]
 	if it == nil || it.state == stateDone || it.state == stateFailed {
 		c.mu.Unlock()
@@ -356,20 +530,62 @@ func (c *Coordinator) complete(req CompleteRequest) (CompleteResponse, error) {
 		return CompleteResponse{}, fmt.Errorf("dist: decoding artifact for %s: %w", label, err)
 	}
 
+	now := c.clock.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.touch(req.Worker)
 	if it.state == stateDone || it.state == stateFailed {
+		c.mu.Unlock()
 		c.metrics.Duplicates.Add(1)
 		return CompleteResponse{Duplicate: true}, nil
+	}
+	// A hedged straggler whose hedge delivered first was rescued: the
+	// sweep stays correct (first finish wins, artifacts are
+	// content-addressed) but the original holder was hung — a degraded
+	// outcome worth an exit code.
+	if it.hedgeWorker != "" && req.Worker == it.hedgeWorker {
+		c.metrics.Rescues.Add(1)
+		c.degraded = true
+		c.emit("dist.speculation.rescued", map[string]string{
+			"spec": label, "key": key, "hedge": req.Worker, "holder": it.worker,
+		})
+		if !it.hedgeStart.IsZero() {
+			c.durations = append(c.durations, now.Sub(it.hedgeStart))
+		}
+	} else if req.Worker == it.worker && !it.stageStart.IsZero() {
+		c.durations = append(c.durations, now.Sub(it.stageStart))
 	}
 	it.state = stateDone
 	it.art = art
 	it.worker = req.Worker
+	it.hedgePending = false
+	it.hedgeWorker, it.hedgeDeadline, it.hedgeStart = "", time.Time{}, time.Time{}
 	close(it.done)
 	c.metrics.Completions.Add(1)
 	c.emit("dist.completed", map[string]string{"spec": label, "key": key, "worker": req.Worker})
+	c.mu.Unlock()
+
+	// Feed the accepted artifact into the shared store write-behind: the
+	// worker already has its answer, and the next worker to need this key
+	// gets a warm fleet-wide hit. Best-effort by design.
+	if c.store != nil {
+		if err := c.store.Put(key, req.Artifact); err != nil {
+			c.emit("dist.store.feed.error", map[string]string{"key": key, "err": err.Error()})
+		} else {
+			c.metrics.StoreBlobs.Add(1)
+		}
+	}
 	return CompleteResponse{}, nil
+}
+
+// noteStoreDegraded records a worker's store-degradation report: the
+// sweep will finish, but not at full fleet health. Callers hold mu.
+func (c *Coordinator) noteStoreDegraded(req CompleteRequest) {
+	if !req.StoreDegraded {
+		return
+	}
+	c.metrics.DegradedReports.Add(1)
+	c.degraded = true
+	c.emit("dist.store.degraded.reported", map[string]string{"worker": req.Worker})
 }
 
 // fail records a worker-side failure for item id. A transient failure
@@ -381,7 +597,31 @@ func (c *Coordinator) fail(req FailRequest) FailResponse {
 	defer c.mu.Unlock()
 	c.touch(req.Worker)
 	it := c.items[req.ID]
-	if it == nil || it.state != stateLeased || it.worker != req.Worker {
+	if it == nil || it.state != stateLeased {
+		return FailResponse{Acked: true}
+	}
+	if req.Worker == it.hedgeWorker && it.hedgeWorker != "" {
+		// The hedge failed; the primary lease stands. Hedge failures are
+		// advisory — the primary may yet deliver — so drop the hedge and
+		// move on.
+		c.emit("dist.hedge.failed", map[string]string{
+			"spec": it.label, "worker": req.Worker, "error": req.Error,
+		})
+		it.hedgeWorker, it.hedgeDeadline, it.hedgeStart = "", time.Time{}, time.Time{}
+		return FailResponse{Acked: true}
+	}
+	if it.worker != req.Worker {
+		return FailResponse{Acked: true}
+	}
+	if it.hedgeWorker != "" {
+		// The primary failed under a live hedge: promote the hedge rather
+		// than requeueing work that is already running elsewhere.
+		c.emit("dist.hedge.promoted", map[string]string{
+			"spec": it.label, "key": it.key, "worker": it.hedgeWorker,
+		})
+		it.worker, it.deadline, it.leaseStart = it.hedgeWorker, it.hedgeDeadline, it.hedgeStart
+		it.stageStart = it.hedgeStart
+		it.hedgeWorker, it.hedgeDeadline, it.hedgeStart = "", time.Time{}, time.Time{}
 		return FailResponse{Acked: true}
 	}
 	c.emit("dist.failed", map[string]string{
@@ -391,6 +631,8 @@ func (c *Coordinator) fail(req FailRequest) FailResponse {
 	if req.Transient && it.attempts < c.maxAttempts {
 		it.state = statePending
 		it.worker, it.stage = "", ""
+		it.leaseStart, it.stageStart = time.Time{}, time.Time{}
+		it.hedgePending = false
 		c.queue = append(c.queue, it.id)
 		c.metrics.Requeues.Add(1)
 		return FailResponse{Acked: true}
@@ -412,6 +654,12 @@ func (c *Coordinator) State() State {
 		is := ItemState{
 			ID: it.id, Spec: it.label, Key: it.key, State: it.state,
 			Worker: it.worker, Stage: it.stage, Attempts: it.attempts,
+		}
+		switch {
+		case it.hedgeWorker != "":
+			is.Hedge = it.hedgeWorker
+		case it.hedgePending:
+			is.Hedge = "pending"
 		}
 		if it.err != nil {
 			is.Err = it.err.Error()
@@ -490,6 +738,12 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.State())
 	})
+	if c.store != nil {
+		// The shared blob store rides on the coordinator's own listener:
+		// workers derive its URL from the coordinator URL they already
+		// have, no extra discovery.
+		mux.Handle("/v1/blob/", c.store.Handler())
+	}
 	return mux
 }
 

@@ -44,7 +44,37 @@ import (
 // Version 2: RunSpec gained Topology/Dims. An older worker would silently
 // drop the fields from the leased spec and simulate the wrong fabric, so
 // the skew must be fatal, not lossy.
-const ProtoVersion = 2
+//
+// Version 3: LeaseResponse gained Store (the coordinator serves a shared
+// blob store) and CompleteRequest gained StoreDegraded (the worker fell
+// back from that store at least once). An older worker would ignore the
+// store — correct but silently slower — and, worse, a v2 coordinator
+// would drop the degradation report a v3 worker is owed an exit code
+// for; the skew stays fatal.
+const ProtoVersion = 3
+
+// DegradedError reports a sweep that completed — every artifact was
+// produced and the output is byte-identical to a local run — but not at
+// full fleet health: workers fell back from the shared store, or a
+// straggler had to be rescued by a speculative re-lease. It implements
+// the Degraded marker the CLI harness maps to exit code 3, so operators
+// notice availability findings without diffing metrics.
+type DegradedError struct {
+	// StoreReports counts completions whose worker reported falling back
+	// from the shared store.
+	StoreReports int64
+	// Rescues counts hedged stragglers whose speculative re-lease
+	// finished first.
+	Rescues int64
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("dist: sweep completed degraded (%d store fallbacks reported, %d stragglers rescued)",
+		e.StoreReports, e.Rescues)
+}
+
+// Degraded marks the sweep as degraded-but-complete (see cli.ExitCode).
+func (e *DegradedError) Degraded() bool { return true }
 
 // ProtocolError reports a coordinator/worker protocol incompatibility
 // (version skew, malformed envelope). It is permanent by construction:
@@ -71,6 +101,18 @@ type Metrics struct {
 	Duplicates     atomic.Int64 // duplicate completions acknowledged idempotently
 	RejectedWrites atomic.Int64 // artifact uploads that failed to decode
 	RemoteFailures atomic.Int64 // specs failed permanently by a worker
+
+	// Shared-store counters. StoreBlobs is coordinator-side (write-behind
+	// from completions); the rest are client-side (HTTPStore).
+	StoreBlobs      atomic.Int64 // blobs fed into the coordinator's store
+	StoreFetches    atomic.Int64 // verified blob fetches served to this client
+	StoreUploads    atomic.Int64 // blob uploads accepted from this client
+	StoreDegraded   atomic.Int64 // store operations degraded to the local cache
+	DegradedReports atomic.Int64 // completions whose worker reported store degradation
+
+	// Speculative re-lease counters.
+	Speculations atomic.Int64 // hedge leases granted against suspected stragglers
+	Rescues      atomic.Int64 // hedged specs whose hedge finished first
 }
 
 // RegisterWith exposes every counter through an obs registry under the
@@ -89,4 +131,11 @@ func (m *Metrics) RegisterWith(r *obs.Registry) {
 	counter("duplicates_total", "duplicate completions acknowledged idempotently", &m.Duplicates)
 	counter("rejected_writes_total", "artifact uploads that failed to decode", &m.RejectedWrites)
 	counter("remote_failures_total", "specs failed permanently by a worker", &m.RemoteFailures)
+	counter("store_blobs_total", "blobs fed into the coordinator's shared store", &m.StoreBlobs)
+	counter("store_fetches_total", "verified blob fetches served from the shared store", &m.StoreFetches)
+	counter("store_uploads_total", "blob uploads accepted by the shared store", &m.StoreUploads)
+	counter("store_degraded_total", "store operations degraded to the local cache", &m.StoreDegraded)
+	counter("degraded_reports_total", "completions whose worker reported store degradation", &m.DegradedReports)
+	counter("speculations_total", "hedge leases granted against suspected stragglers", &m.Speculations)
+	counter("rescues_total", "hedged specs whose hedge finished first", &m.Rescues)
 }

@@ -76,6 +76,9 @@ func newClient(retry resilience.Policy, rpcTimeout time.Duration) *client {
 	return &client{hc: &http.Client{}, retry: retry, rpcTimeout: rpcTimeout}
 }
 
+// setTransport overrides the client's HTTP transport (fault injection).
+func (c *client) setTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
 // post sends req to url and decodes the answer into resp, retrying
 // transient failures on a schedule seeded by the URL (so concurrent
 // workers decorrelate deterministically).

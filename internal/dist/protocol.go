@@ -47,6 +47,10 @@ type LeaseResponse struct {
 	// LeaseMS is the lease duration in milliseconds: the worker must
 	// complete or heartbeat within it or the work is re-enqueued.
 	LeaseMS int64 `json:"lease_ms,omitempty"`
+	// Store reports that the coordinator serves the shared blob store
+	// (GET/PUT /v1/blob/{key} on its own base URL); the worker should
+	// point its HTTPStore there.
+	Store bool `json:"store,omitempty"`
 }
 
 // HeartbeatRequest extends a lease and reports the spec's current
@@ -75,6 +79,10 @@ type CompleteRequest struct {
 	// Artifact is the pipeline wire codec's serialization
 	// (pipeline.MarshalArtifact).
 	Artifact json.RawMessage `json:"artifact"`
+	// StoreDegraded reports that this worker fell back from the shared
+	// store at least once: the sweep completed, but degraded. The
+	// coordinator surfaces it through Degraded (exit code 3).
+	StoreDegraded bool `json:"store_degraded,omitempty"`
 }
 
 // CompleteResponse acknowledges an artifact. Duplicate reports that the
@@ -134,7 +142,10 @@ type ItemState struct {
 	Worker   string `json:"worker,omitempty"`
 	Stage    string `json:"stage,omitempty"`
 	Attempts int    `json:"attempts"`
-	Err      string `json:"error,omitempty"`
+	// Hedge is the speculative re-lease holder while a straggler is
+	// hedged (or "pending" while the hedge waits for an idle worker).
+	Hedge string `json:"hedge,omitempty"`
+	Err   string `json:"error,omitempty"`
 }
 
 // State is the coordinator's queue snapshot (GET /v1/state, and the

@@ -42,6 +42,17 @@ type WorkerOptions struct {
 	// 2m. (A coordinator mid-restart answers within the grace; one whose
 	// process is gone for good should not pin a worker forever.)
 	UnreachableGrace time.Duration
+	// Store, when non-nil, is the worker's shared-store client: when a
+	// coordinator advertises its blob store (LeaseResponse.Store), the
+	// worker points the client there and reports the client's sticky
+	// degradation flag on every completion.
+	Store *HTTPStore
+	// Transport overrides the RPC client's HTTP transport (fault
+	// injection for the chaos matrix).
+	Transport http.RoundTripper
+	// Clock supplies the worker's time base; nil means the observer's
+	// clock (the system clock when unobserved).
+	Clock obs.Clock
 }
 
 // A Worker executes leased specs from a coordinator: poll for a lease,
@@ -54,6 +65,8 @@ type Worker struct {
 	runner           Runner
 	ob               *obs.Observer
 	client           *client
+	store            *HTTPStore
+	clock            obs.Clock
 	pollInterval     time.Duration
 	unreachableGrace time.Duration
 	attach           chan string
@@ -73,15 +86,30 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.UnreachableGrace <= 0 {
 		opts.UnreachableGrace = 2 * time.Minute
 	}
+	if opts.Clock == nil {
+		opts.Clock = opts.Obs.ClockOrSystem()
+	}
+	cl := newClient(opts.Retry, opts.RPCTimeout)
+	if opts.Transport != nil {
+		cl.setTransport(opts.Transport)
+	}
 	return &Worker{
 		name:             opts.Name,
 		runner:           opts.Runner,
 		ob:               opts.Obs,
-		client:           newClient(opts.Retry, opts.RPCTimeout),
+		client:           cl,
+		store:            opts.Store,
+		clock:            opts.Clock,
 		pollInterval:     opts.PollInterval,
 		unreachableGrace: opts.UnreachableGrace,
 		attach:           make(chan string, 4),
 	}, nil
+}
+
+// storeDegraded reports the store client's sticky degradation flag (false
+// without a store).
+func (w *Worker) storeDegraded() bool {
+	return w.store != nil && w.store.Degraded()
 }
 
 // Poll serves one coordinator until its sweep is done, ctx is
@@ -108,9 +136,9 @@ func (w *Worker) Poll(ctx context.Context, coordinatorURL string) error {
 			// coordinator is unreachable. Keep knocking until the grace
 			// period runs out — it may be restarting around its journal.
 			if unreachableSince.IsZero() {
-				unreachableSince = time.Now()
+				unreachableSince = w.clock.Now()
 				w.ob.Emit("dist.coordinator.unreachable", map[string]string{"worker": w.name, "coordinator": coordinatorURL})
-			} else if time.Since(unreachableSince) > w.unreachableGrace {
+			} else if w.clock.Now().Sub(unreachableSince) > w.unreachableGrace {
 				return fmt.Errorf("dist: worker %s: coordinator %s unreachable for %v: %w",
 					w.name, coordinatorURL, w.unreachableGrace, err)
 			}
@@ -129,6 +157,12 @@ func (w *Worker) Poll(ctx context.Context, coordinatorURL string) error {
 				return ctx.Err()
 			}
 		case StatusLease:
+			if w.store != nil && lease.Store && w.store.Base() == "" {
+				// The coordinator serves a shared blob store on its own
+				// base URL; point the engine's store client there.
+				w.store.SetBase(coordinatorURL)
+				w.ob.Emit("dist.store.attached", map[string]string{"worker": w.name, "store": coordinatorURL})
+			}
 			w.serve(ctx, coordinatorURL, lease)
 		default:
 			return fmt.Errorf("dist: worker %s: coordinator answered unknown lease status %q", w.name, lease.Status)
@@ -196,6 +230,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, coordinatorURL string, lease
 	if interval <= 0 {
 		interval = time.Second
 	}
+	//lint:allow determinism heartbeats pace a real network lease; the Clock seam only supplies Now
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
@@ -233,7 +268,10 @@ func (w *Worker) deliver(ctx context.Context, coordinatorURL string, lease Lease
 			fmt.Errorf("dist: worker %s: encoding artifact: %w", w.name, err), false)
 		return
 	}
-	req := CompleteRequest{V: ProtoVersion, Worker: w.name, ID: lease.ID, Key: lease.Key, Artifact: data}
+	req := CompleteRequest{
+		V: ProtoVersion, Worker: w.name, ID: lease.ID, Key: lease.Key,
+		Artifact: data, StoreDegraded: w.storeDegraded(),
+	}
 	var resp CompleteResponse
 	if err := w.client.post(ctx, coordinatorURL+"/v1/complete", req, &resp); err != nil {
 		w.ob.Emit("dist.deliver.failed", map[string]string{"worker": w.name, "key": lease.Key, "error": err.Error()})
@@ -320,6 +358,7 @@ func (r AttachRequest) version() int { return r.V }
 // sleepCtx waits d or until ctx is cancelled, reporting whether the full
 // wait elapsed.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
+	//lint:allow determinism cancellable real-time wait between polls; the Clock seam only supplies Now
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseNetGrammar(t *testing.T) {
+	s, err := ParseNet("drop:0.2;delay:0.5:20ms;reset:0.1;trunc:0.1;5xx:0.25;drop:1@3-7", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 6 || s.Seed != 42 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	want := []NetRule{
+		{Kind: NetDrop, Prob: 0.2},
+		{Kind: NetDelay, Prob: 0.5, Delay: 20 * time.Millisecond},
+		{Kind: NetReset, Prob: 0.1},
+		{Kind: NetTrunc, Prob: 0.1},
+		{Kind: Net5xx, Prob: 0.25},
+		{Kind: NetDrop, Prob: 1, Start: 3, End: 7},
+	}
+	for i, r := range s.Rules {
+		if r != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	// Open-ended and single-ordinal windows.
+	s, err = ParseNet("reset:1@5-;trunc:1@9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rules[0].Start != 5 || s.Rules[0].End != 0 || s.Rules[1].Start != 9 {
+		t.Fatalf("windows = %+v", s.Rules)
+	}
+
+	for _, bad := range []string{
+		"", "wobble:0.5", "drop:1.5", "drop:x", "delay:0.5", "delay:0.5:-3ms",
+		"delay:0.5:fast", "drop:1@7-3", "drop:1@b-c", "drop",
+	} {
+		if _, err := ParseNet(bad, 1); err == nil {
+			t.Errorf("ParseNet(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRoundTripperIsDeterministic: two round trippers with the same
+// schedule make identical decisions for the same request ordinals,
+// regardless of wall time.
+func TestRoundTripperIsDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	outcomes := func() []string {
+		sched, err := ParseNet("drop:0.3;5xx:0.3", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRoundTripper(sched, nil)
+		cl := &http.Client{Transport: rt}
+		var out []string
+		for i := 0; i < 40; i++ {
+			resp, err := cl.Get(srv.URL)
+			switch {
+			case err != nil:
+				out = append(out, "drop")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				resp.Body.Close()
+				out = append(out, "5xx")
+			default:
+				resp.Body.Close()
+				out = append(out, "ok")
+			}
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %q vs %q — decisions depend on more than the ordinal", i, a[i], b[i])
+		}
+	}
+	// The schedule must actually do something at these probabilities.
+	joined := strings.Join(a, ",")
+	if !strings.Contains(joined, "drop") || !strings.Contains(joined, "5xx") || !strings.Contains(joined, "ok") {
+		t.Fatalf("outcome mix too uniform: %s", joined)
+	}
+}
+
+// TestDropWindowNeverReachesServer: a certain drop inside its ordinal
+// window refuses the connection client-side; outside the window requests
+// pass untouched.
+func TestDropWindowNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	sched, err := ParseNet("drop:1@0-2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRoundTripper(sched, nil)
+	cl := &http.Client{Transport: rt}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Get(srv.URL); err == nil {
+			t.Fatalf("request %d inside the drop window succeeded", i)
+		} else if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("request %d: %v, want ECONNREFUSED", i, err)
+		}
+	}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request past the window: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+	c := rt.Counters()
+	if c.Requests != 3 || c.Drops != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestResetDeliversSideEffectsThenLosesAnswer pins the semantics the
+// idempotent-completion machinery exists for: a reset request reaches
+// the server — its side effects land — but the client sees ECONNRESET.
+func TestResetDeliversSideEffectsThenLosesAnswer(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	sched, err := ParseNet("reset:1@0-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Transport: NewRoundTripper(sched, nil)}
+	if _, err := cl.Get(srv.URL); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset request: %v, want ECONNRESET", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests: a reset must deliver the request first", hits.Load())
+	}
+}
+
+// TestTruncCutsBodyMidStream: a truncated response delivers headers and
+// a prefix of the body, then fails with io.ErrUnexpectedEOF.
+func TestTruncCutsBodyMidStream(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+
+	sched, err := ParseNet("trunc:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Transport: NewRoundTripper(sched, nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want unexpected EOF", err)
+	}
+	if len(data) == 0 || len(data) >= len(body) {
+		t.Fatalf("read %d bytes of %d; truncation must cut mid-body", len(data), len(body))
+	}
+}
+
+// TestDelayStallsThenSucceeds: delays accumulate without changing the
+// request's fate.
+func TestDelayStallsThenSucceeds(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	sched, err := ParseNet("delay:1:1ms;delay:1:1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRoundTripper(sched, nil)
+	cl := &http.Client{Transport: rt}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if c := rt.Counters(); c.Delays != 1 || c.Requests != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

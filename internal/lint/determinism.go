@@ -23,12 +23,17 @@ var simulationPackages = []string{
 // clockedPackages are the packages that may observe the host clock, but
 // only through the obs.Clock seam: internal/obs owns the single
 // sanctioned real-clock shim (obs.System, carrying the one permanent
-// //lint:allow), and internal/pipeline times its stages against an
-// injected Clock so a fake clock makes every export reproducible. A bare
-// time.Now here bypasses the injection point and is flagged.
+// //lint:allow), internal/pipeline times its stages against an injected
+// Clock so a fake clock makes every export reproducible, and
+// internal/dist makes every lease/expiry/speculation decision against
+// the coordinator's injected Clock so tests can drive straggler hedging
+// deterministically. A bare time.Now here bypasses the injection point
+// and is flagged; real tickers and timers that merely pace loops carry
+// explicit //lint:allow justifications.
 var clockedPackages = []string{
 	"internal/obs",
 	"internal/pipeline",
+	"internal/dist",
 }
 
 // wallClockFuncs are the time package entry points that observe or wait

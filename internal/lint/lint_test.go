@@ -25,6 +25,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"ctxflow/internal/core", []*Analyzer{CtxflowAnalyzer}},
 		{"obsclock/internal/obs", []*Analyzer{DeterminismAnalyzer}},
 		{"obsclock/internal/pipeline", []*Analyzer{DeterminismAnalyzer}},
+		{"obsclock/internal/dist", []*Analyzer{DeterminismAnalyzer}},
 		{"ctxflow/internal/pipeline", []*Analyzer{CtxflowAnalyzer}},
 		{"ctxflow/internal/dist", []*Analyzer{CtxflowAnalyzer}},
 		{"errtax/internal/pipeline", []*Analyzer{ErrTaxonomyAnalyzer}},

@@ -1,0 +1,55 @@
+// Package dist exercises the determinism analyzer's clocked-package
+// scope over the distributed sweep layer: every lease, expiry, and
+// speculation decision must be made against an injected Clock — a bare
+// time.Now would make straggler hedging untestable and lease-expiry
+// races schedule-dependent. Real tickers that merely pace loops are
+// fine, but only behind an explicit //lint:allow.
+package dist
+
+import "time"
+
+// clock mirrors obs.Clock; the fixture keeps it local so the package
+// type-checks standalone.
+type clock interface {
+	Now() time.Time
+}
+
+// Bad: a lease deadline computed from the host clock directly.
+func deadlineDirect(lease time.Duration) time.Time {
+	return time.Now().Add(lease) // want "determinism: wall-clock time.Now outside obs.Clock"
+}
+
+// Bad: waiting out a lease with a host sleep.
+func waitOut(lease time.Duration) {
+	time.Sleep(lease) // want "determinism: wall-clock time.Sleep outside obs.Clock"
+}
+
+// Bad: an un-justified real ticker — pacing is allowed, but only with an
+// explicit //lint:allow stating why the Clock seam does not cover it.
+func sweepLoop(stop chan struct{}) {
+	tick := time.NewTicker(time.Second) // want "determinism: wall-clock time.NewTicker outside obs.Clock"
+	defer tick.Stop()
+	<-stop
+}
+
+// Good: decisions read the injected clock (method calls are exempt), so
+// a fake clock drives expiry and hedging deterministically in tests.
+func expired(c clock, deadline time.Time) bool {
+	return !c.Now().Before(deadline)
+}
+
+// Good: a real ticker pacing the expiry sweep, justified by an allow —
+// every decision the tick triggers still goes through the clock.
+func pacedSweep(c clock, stop chan struct{}, expire func(time.Time)) {
+	//lint:allow determinism the expiry sweep needs a real ticker; decisions go through the injected clock
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			expire(c.Now())
+		}
+	}
+}

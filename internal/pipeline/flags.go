@@ -26,6 +26,11 @@ type Flags struct {
 	// its own: the tools that support distribution construct the
 	// executor from their own flags (-workers) and inject it here.
 	Remote Executor
+	// Store, when set before EngineObserved, attaches a shared remote
+	// artifact cache (read-through after disk misses, asynchronous
+	// write-behind after fresh runs). Like Remote it has no flag of its
+	// own; the distributed tools construct and inject it.
+	Store CacheStore
 }
 
 // AddFlags registers the pipeline flags on a flag set.
@@ -81,6 +86,7 @@ func (f *Flags) EngineObserved(ob *obs.Observer) (*Engine, error) {
 		SpecTimeout: f.SpecTimeout,
 		Journal:     journal,
 		Remote:      f.Remote,
+		Store:       f.Store,
 		Obs:         ob,
 	})
 	if err != nil {

@@ -64,6 +64,10 @@ const (
 	// SourceRemote is an artifact executed by a remote worker (see the
 	// Options.Remote executor and internal/dist).
 	SourceRemote Source = "remote"
+	// SourceStore is an artifact fetched from the shared remote cache
+	// (the Options.Store CacheStore) — executed earlier by some other
+	// process in the fleet.
+	SourceStore Source = "store"
 )
 
 // An Executor runs one spec somewhere other than this process's stages —
@@ -136,6 +140,11 @@ type Options struct {
 	// executor (a distributed worker fleet) instead of the local stages.
 	// Caching, journaling, dedup, and the retry policy are unchanged.
 	Remote Executor
+	// Store, when non-nil, is a shared remote artifact cache consulted
+	// after a local disk miss (read-through) and fed after every fresh
+	// run (asynchronous write-behind). Strictly best-effort: a degraded
+	// store costs counters and flight events, never a failed spec.
+	Store CacheStore
 	// Obs, when non-nil, observes the engine: every stage is traced as a
 	// span, the metrics counters are exported through the observer's
 	// registry, per-spec progress is tracked, and completed runs
@@ -158,6 +167,8 @@ type Engine struct {
 	specTimeout time.Duration
 	journal     *Journal
 	remote      Executor
+	store       CacheStore
+	storeWG     sync.WaitGroup // in-flight write-behind uploads (drained by Close)
 
 	// obs observes the engine (nil: no observation); clock is the
 	// engine's only wall-clock source — obs.System() untraced, a fake in
@@ -216,6 +227,7 @@ func newEngine(opts Options) *Engine {
 		specTimeout: opts.SpecTimeout,
 		journal:     opts.Journal,
 		remote:      opts.Remote,
+		store:       opts.Store,
 		obs:         opts.Obs,
 		clock:       opts.Obs.ClockOrSystem(),
 		mem:         map[string]*Artifact{},
@@ -287,9 +299,11 @@ func (e *Engine) Metrics() *Metrics { return e.metrics }
 // Journal returns the engine's sweep journal, or nil.
 func (e *Engine) Journal() *Journal { return e.journal }
 
-// Close releases the engine's journal, flushing its final record. An
-// engine without a journal needs no Close; calling it is then a no-op.
+// Close drains the in-flight store write-behinds and releases the
+// engine's journal, flushing its final record. An engine without a store
+// or journal needs no Close; calling it is then a no-op.
 func (e *Engine) Close() error {
+	e.storeWG.Wait()
 	if e.journal != nil {
 		return e.journal.Close()
 	}
@@ -493,6 +507,9 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key, track string) (
 			return art, nil
 		}
 	}
+	if art, ok := e.storeGet(ctx, spec, key, track); ok {
+		return art, nil
+	}
 
 	e.obs.SpecStage(track, obs.StageQueued)
 	qsp := e.obs.StartSpan("engine", track, "queue", "queued")
@@ -557,6 +574,12 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec, key, track string) (
 			e.metrics.DiskStoreErrors.Add(1)
 			e.obs.Emit("cache.store.error", map[string]string{"spec": track, "err": serr.Error()})
 		}
+	}
+	if art.Source == SourceRun {
+		// Freshly executed here: share it with the fleet. Remote
+		// artifacts are already fed into the store by the coordinator at
+		// completion time, so re-uploading them would be a wasted PUT.
+		e.storePut(spec, key, track, art)
 	}
 	return art, nil
 }

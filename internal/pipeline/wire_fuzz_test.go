@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"commchar/internal/apps"
+	"commchar/internal/ccnuma"
+	"commchar/internal/core"
+	"commchar/internal/fault"
+	"commchar/internal/mesh"
+	"commchar/internal/spasm"
+)
+
+// wireFuzzArtifact is a small but fully populated artifact: a real
+// delivery log, coherence stats, profiles, and fault counters, so the
+// seed corpus covers every field the codec serializes.
+func wireFuzzArtifact() *Artifact {
+	log := []mesh.Delivery{
+		{Message: mesh.Message{ID: 1, Src: 0, Dst: 1, Bytes: 64, Inject: 10}, End: 30, Latency: 20, Blocked: 0, Hops: 1},
+		{Message: mesh.Message{ID: 2, Src: 1, Dst: 0, Bytes: 128, Inject: 40}, End: 90, Latency: 50, Blocked: 5, Hops: 2},
+	}
+	return &Artifact{
+		C: &core.Characterization{
+			Name: "FZ", Strategy: core.StrategyDynamic, Procs: 2,
+			Messages: len(log), TotalBytes: 192, Elapsed: 90,
+			Log: log,
+		},
+		MemStats:      &ccnuma.Stats{Upgrades: 7, SilentUpgrades: 3},
+		Profiles:      []spasm.Profile{{Compute: 100, Memory: 20, Sync: 5, End: 125}},
+		Failures:      []string{"msg 9: dropped"},
+		FaultCounters: fault.Counters{Drops: 2, Corruptions: 1},
+	}
+}
+
+// FuzzUnmarshalArtifact throws arbitrary bytes at the dist wire codec's
+// decode path and asserts its contract: UnmarshalArtifact never panics
+// and never returns a partial decode — every truncated, corrupt, or
+// version-skewed payload is an error, and every accepted payload decodes
+// to an artifact that re-marshals and round-trips stably. This is the
+// codec-side mirror of FuzzJournalRecovery: the journal guards the
+// coordinator's resume path, this guards the worker→coordinator and
+// blob-store transfer path.
+func FuzzUnmarshalArtifact(f *testing.F) {
+	valid, err := MarshalArtifact(wireFuzzArtifact())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-JSON
+	f.Add(valid[:17])           // truncated in the header
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20 // one damaged byte
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte(`{}`))             // decodes, but no characterization
+	f.Add([]byte(`{"Meta":{}}`))    // metadata present, C still nil
+	f.Add([]byte(`{"Meta":null}`))  //
+	f.Add([]byte("\x00\xff\x00\n")) // binary garbage
+
+	// Version-skew shapes built in-package: a delivery count that
+	// disagrees with the log, and a trace promised but not shipped.
+	skew := func(mutate func(w *wireArtifact)) []byte {
+		var w wireArtifact
+		if err := json.Unmarshal(valid, &w); err != nil {
+			f.Fatal(err)
+		}
+		mutate(&w)
+		data, err := json.Marshal(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(skew(func(w *wireArtifact) { w.Meta.Messages++ }))
+	f.Add(skew(func(w *wireArtifact) { w.Meta.HasTrace = true }))
+	f.Add(skew(func(w *wireArtifact) { w.LogCSV = w.LogCSV[:len(w.LogCSV)-3] }))
+	f.Add(skew(func(w *wireArtifact) { w.LogCSV = nil; w.Meta.Messages = 0 }))
+
+	spec := RunSpec{App: "FZ", Procs: 2, Scale: apps.ScaleSmall}
+	key := testKey(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := UnmarshalArtifact(data, spec, key)
+		if err != nil {
+			if art != nil {
+				t.Fatal("error with non-nil artifact: a failed decode must not leak a partial artifact")
+			}
+			return
+		}
+		// Accepted payloads must be internally consistent and must
+		// round-trip: re-marshal succeeds and a second decode agrees
+		// with the first, so a relayed blob (worker → coordinator →
+		// another worker's store fetch) cannot drift.
+		if art.C == nil {
+			t.Fatal("accepted artifact has no characterization")
+		}
+		if !reflect.DeepEqual(art.Spec, spec) || art.Key != key {
+			t.Fatalf("spec/key not taken from the caller: %+v %q", art.Spec, art.Key)
+		}
+		again, err := MarshalArtifact(art)
+		if err != nil {
+			t.Fatalf("accepted artifact does not re-marshal: %v", err)
+		}
+		art2, err := UnmarshalArtifact(again, spec, key)
+		if err != nil {
+			t.Fatalf("re-marshaled artifact does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(art, art2) {
+			t.Fatal("decode → marshal → decode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"commchar/internal/obs"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every call through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits every call until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe call; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerOptions configures a Breaker. The zero value takes the defaults.
+type BreakerOptions struct {
+	// Threshold is how many consecutive failures trip the breaker open.
+	// Default 3.
+	Threshold int
+	// Cooldown is the open interval before the first half-open probe.
+	// Default 500ms.
+	Cooldown time.Duration
+	// MaxCooldown caps the grown cooldown; default 16x Cooldown. The
+	// probe schedule doubles the cooldown after every failed probe —
+	// deterministically, with no jitter, so a test (or an operator
+	// reading a flight recording) can predict exactly when the next
+	// probe is admitted.
+	MaxCooldown time.Duration
+	// Clock supplies the breaker's time base; nil means obs.System().
+	Clock obs.Clock
+}
+
+// A Breaker is a per-endpoint circuit breaker: after Threshold
+// consecutive failures it opens and rejects calls instantly, so a dead
+// endpoint costs a nil check instead of a connect timeout on every
+// operation. After a deterministic cooldown it admits exactly one probe
+// (half-open); a successful probe closes the circuit, a failed one
+// re-opens it with the cooldown doubled up to MaxCooldown. The schedule
+// is deliberately jitter-free: breakers guard best-effort paths (the
+// shared artifact store), where the reproducibility of the probe
+// schedule is worth more than decorrelation.
+//
+// Breaker is safe for concurrent use.
+type Breaker struct {
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+	clock       obs.Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int           // consecutive failures while closed
+	openedAt time.Time     // when the breaker last opened
+	wait     time.Duration // current cooldown before the next probe
+	probing  bool          // a half-open probe is in flight
+	opens    int64         // times the breaker tripped open (for metrics)
+}
+
+// NewBreaker builds a breaker from opts.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 3
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 500 * time.Millisecond
+	}
+	if opts.MaxCooldown <= 0 {
+		opts.MaxCooldown = 16 * opts.Cooldown
+	}
+	if opts.Clock == nil {
+		opts.Clock = obs.System()
+	}
+	return &Breaker{
+		threshold:   opts.Threshold,
+		cooldown:    opts.Cooldown,
+		maxCooldown: opts.MaxCooldown,
+		clock:       opts.Clock,
+		wait:        opts.Cooldown,
+	}
+}
+
+// Allow reports whether a call may proceed right now. While open it
+// returns false until the cooldown has elapsed; the first Allow after
+// the cooldown admits the half-open probe (and concurrent callers keep
+// getting false until that probe reports through Record).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe at a time; everyone else stays short-circuited.
+		return false
+	default: // BreakerOpen
+		if b.clock.Now().Sub(b.openedAt) < b.wait {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports a call's outcome. Failures while closed count toward
+// the threshold; a failed half-open probe re-opens the breaker with the
+// cooldown doubled (capped), a successful one closes it and resets the
+// schedule.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.wait = b.cooldown
+			return
+		}
+		// Failed probe: back to open with the cooldown doubled.
+		b.wait *= 2
+		if b.wait > b.maxCooldown {
+			b.wait = b.maxCooldown
+		}
+		b.trip()
+	case BreakerOpen:
+		// A straggling Record from before the trip; nothing to update.
+	}
+}
+
+// trip moves the breaker to open at the current instant. Callers hold mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.opens++
+}
+
+// State returns the breaker's current position (open breakers whose
+// cooldown has elapsed still report open until a probe is admitted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

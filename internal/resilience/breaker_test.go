@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"commchar/internal/obs"
+)
+
+// TestBreakerLifecycle drives the breaker through its whole state
+// machine under a fake clock: closed -> open after the threshold,
+// short-circuit during the cooldown, one half-open probe, re-open with
+// a doubled cooldown on probe failure, closed again on probe success.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := obs.NewFake(time.Unix(0, 0), 0)
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: 100 * time.Millisecond, Clock: clock})
+
+	// Closed: calls pass; two failures stay under the threshold.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after 2 failures, want closed", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Record(true)
+	for i := 0; i < 2; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// The third consecutive failure trips it.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+
+	// Open: short-circuit until the cooldown elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+	clock.Advance(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call 1ms early")
+	}
+	clock.Advance(1 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	// Half-open: exactly one probe; concurrent callers stay rejected.
+	if b.Allow() {
+		t.Fatal("second caller admitted during the half-open probe")
+	}
+	// Probe fails: re-open with the cooldown doubled (200ms).
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	clock.Advance(199 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("doubled cooldown not honoured")
+	}
+	clock.Advance(1 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted after doubled cooldown")
+	}
+	// Probe succeeds: closed, schedule reset to the base cooldown.
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clock.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown did not reset to the base after recovery")
+	}
+}
+
+// TestBreakerCooldownCap pins the deterministic probe schedule: the
+// cooldown doubles per failed probe and saturates at MaxCooldown.
+func TestBreakerCooldownCap(t *testing.T) {
+	clock := obs.NewFake(time.Unix(0, 0), 0)
+	b := NewBreaker(BreakerOptions{
+		Threshold: 1, Cooldown: 10 * time.Millisecond,
+		MaxCooldown: 40 * time.Millisecond, Clock: clock,
+	})
+	b.Record(false) // trip
+
+	want := []time.Duration{10, 20, 40, 40, 40} // ms; capped at 40
+	for i, w := range want {
+		w *= time.Millisecond
+		clock.Advance(w - time.Millisecond)
+		if b.Allow() {
+			t.Fatalf("probe %d admitted before its %v cooldown", i, w)
+		}
+		clock.Advance(time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("probe %d not admitted at its %v cooldown", i, w)
+		}
+		b.Record(false) // keep failing: next cooldown doubles (until the cap)
+	}
+	if b.Opens() != int64(len(want))+1 {
+		t.Fatalf("opens = %d, want %d", b.Opens(), len(want)+1)
+	}
+}
