@@ -136,18 +136,20 @@ func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
 	return l.gc.Import(path)
 }
 
-// A wantExpectation is one `// want "regexp"` assertion.
+// A wantExpectation is one `// want "regexp"` (diagnostic) or
+// `// want fact:"regexp"` (exported fact) assertion.
 type wantExpectation struct {
 	file string
 	line int
 	re   *regexp.Regexp
 	text string
+	fact bool
 	met  bool
 }
 
 var (
-	wantRE    = regexp.MustCompile(`// want((?: "(?:[^"\\]|\\.)*")+)`)
-	wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	wantRE    = regexp.MustCompile(`// want((?:[ \t]+(?:fact:)?"(?:[^"\\]|\\.)*")+)`)
+	wantArgRE = regexp.MustCompile(`(fact:)?"(?:[^"\\]|\\.)*"`)
 )
 
 // parseWants extracts want expectations from the fixture's comments.
@@ -162,7 +164,8 @@ func parseWants(pkg *Package) ([]*wantExpectation, error) {
 				}
 				posn := pkg.Fset.Position(c.Pos())
 				for _, q := range wantArgRE.FindAllString(m[1], -1) {
-					pat, err := strconv.Unquote(q)
+					isFact := strings.HasPrefix(q, "fact:")
+					pat, err := strconv.Unquote(strings.TrimPrefix(q, "fact:"))
 					if err != nil {
 						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", posn.Filename, posn.Line, q, err)
 					}
@@ -171,7 +174,7 @@ func parseWants(pkg *Package) ([]*wantExpectation, error) {
 						return nil, fmt.Errorf("%s:%d: bad want regexp: %w", posn.Filename, posn.Line, err)
 					}
 					wants = append(wants, &wantExpectation{
-						file: posn.Filename, line: posn.Line, re: re, text: pat,
+						file: posn.Filename, line: posn.Line, re: re, text: pat, fact: isFact,
 					})
 				}
 			}
@@ -190,17 +193,15 @@ type failure struct {
 // CheckFixture runs the analyzers over the fixture package at path and
 // matches the surviving diagnostics against the fixture's `// want`
 // comments. Every diagnostic must be wanted on its line (pattern
-// matched against "rule: message"), and every want must fire. The
-// returned failures are empty on success.
+// matched against "rule: message"), and every want must fire. Fact
+// assertions (`// want fact:"…"`) match against the facts exported for
+// this package, rendered as "objectKey: FactString" at the exporting
+// declaration's line; unasserted facts are not failures (fixtures opt
+// in to the facts they pin). Fixture-local imports are fact-analyzed
+// first, so cross-package facts flow exactly as under the unitchecker.
+// The returned failures are empty on success.
 func CheckFixture(l *FixtureLoader, path string, analyzers ...*Analyzer) ([]failure, error) {
-	pkg, err := l.Load(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(analyzers) == 0 {
-		analyzers = Analyzers()
-	}
-	diags, err := Run(pkg, analyzers)
+	diags, store, pkg, err := runFixture(l, path, analyzers)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +216,7 @@ func CheckFixture(l *FixtureLoader, path string, analyzers ...*Analyzer) ([]fail
 		text := d.Rule + ": " + d.Message
 		matched := false
 		for _, w := range wants {
-			if w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(text) {
+			if !w.fact && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(text) {
 				w.met = true
 				matched = true
 			}
@@ -228,11 +229,22 @@ func CheckFixture(l *FixtureLoader, path string, analyzers ...*Analyzer) ([]fail
 			})
 		}
 	}
+	for _, ef := range store.PackageFacts(path) {
+		for _, w := range wants {
+			if w.fact && w.file == ef.File && w.line == ef.Line && w.re.MatchString(ef.Render) {
+				w.met = true
+			}
+		}
+	}
 	for _, w := range wants {
 		if !w.met {
+			kind := "unmatched want"
+			if w.fact {
+				kind = "unmatched fact want"
+			}
 			failures = append(failures, failure{
 				pos:  fmt.Sprintf("%s:%d", filepath.Base(w.file), w.line),
-				kind: "unmatched want",
+				kind: kind,
 				text: w.text,
 			})
 		}
@@ -244,4 +256,188 @@ func CheckFixture(l *FixtureLoader, path string, analyzers ...*Analyzer) ([]fail
 		return failures[i].text < failures[j].text
 	})
 	return failures, nil
+}
+
+// runFixture loads the fixture at path, fact-analyzes its fixture-local
+// imports into a fresh store, and runs the analyzers over it.
+func runFixture(l *FixtureLoader, path string, analyzers []*Analyzer) ([]Diagnostic, *FactStore, *Package, error) {
+	pkg, err := l.Load(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	store := NewFactStore()
+	if err := ensureDepFacts(l, pkg, analyzers, store, map[string]bool{path: true}); err != nil {
+		return nil, nil, nil, err
+	}
+	diags, err := RunWithFacts(pkg, analyzers, store)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, store, pkg, nil
+}
+
+// ensureDepFacts runs the analyzers over every fixture-local import of
+// pkg, depth-first, discarding their diagnostics but keeping their
+// exported facts in store — the fixture-harness equivalent of the
+// unitchecker seeding a unit's store from its dependencies' vetx files.
+func ensureDepFacts(l *FixtureLoader, pkg *Package, analyzers []*Analyzer, store *FactStore, visited map[string]bool) error {
+	for _, imp := range pkg.Types.Imports() {
+		path := imp.Path()
+		if visited[path] {
+			continue
+		}
+		if st, err := os.Stat(filepath.Join(l.Root, filepath.FromSlash(path))); err != nil || !st.IsDir() {
+			continue
+		}
+		visited[path] = true
+		dep, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		if err := ensureDepFacts(l, dep, analyzers, store, visited); err != nil {
+			return err
+		}
+		if _, err := RunWithFacts(dep, analyzers, store); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckFixtureFixes golden-tests SuggestedFixes: it runs the analyzers
+// over the fixture at path, applies every fix, and compares each
+// rewritten file against its `.golden` sibling. It additionally checks
+// idempotence — re-analyzing the golden output must yield no further
+// fixes — and that every `.golden` file in the fixture corresponds to a
+// rewritten source file.
+func CheckFixtureFixes(l *FixtureLoader, path string, analyzers ...*Analyzer) ([]failure, error) {
+	diags, _, pkg, err := runFixture(l, path, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	fixed, _, err := ApplyFixes(pkg.Fset, diags, os.ReadFile)
+	if err != nil {
+		return nil, err
+	}
+
+	var failures []failure
+	fail := func(file, kind, text string) {
+		failures = append(failures, failure{pos: filepath.Base(file), kind: kind, text: text})
+	}
+	files := make([]string, 0, len(fixed))
+	overlay := make(map[string][]byte)
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		golden, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			fail(file, "missing golden", "fixes rewrote this file but no .golden sibling exists")
+			continue
+		}
+		if string(golden) != string(fixed[file]) {
+			fail(file, "golden mismatch", firstDiff(string(golden), string(fixed[file])))
+			continue
+		}
+		overlay[filepath.Base(file)] = fixed[file]
+	}
+
+	// Every .golden in the fixture must have been produced.
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".golden") {
+			continue
+		}
+		src := filepath.Join(dir, strings.TrimSuffix(e.Name(), ".golden"))
+		if _, ok := fixed[src]; !ok {
+			fail(src, "unused golden", "a .golden sibling exists but the analyzers produced no fixes for this file")
+		}
+	}
+	if len(failures) > 0 || len(overlay) == 0 {
+		return failures, nil
+	}
+
+	// Idempotence: the golden output must be fix-clean.
+	fixedPkg, err := l.loadOverlay(path, overlay)
+	if err != nil {
+		return nil, fmt.Errorf("reloading %s with fixes applied: %w", path, err)
+	}
+	store := NewFactStore()
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	if err := ensureDepFacts(l, fixedPkg, analyzers, store, map[string]bool{path: true}); err != nil {
+		return nil, err
+	}
+	rediags, err := RunWithFacts(fixedPkg, analyzers, store)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range rediags {
+		if len(d.Fixes) > 0 {
+			posn := fixedPkg.Fset.Position(d.Pos)
+			fail(posn.Filename, "not idempotent",
+				fmt.Sprintf("line %d: fix applied but a fixable diagnostic remains: %s", posn.Line, d.Message))
+		}
+	}
+	return failures, nil
+}
+
+// loadOverlay type-checks the fixture at path with some file contents
+// replaced (keyed by base name), without memoizing the result. It backs
+// the idempotence half of CheckFixtureFixes.
+func (l *FixtureLoader) loadOverlay(path string, overlay map[string][]byte) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		var src any
+		if data, ok := overlay[name]; ok {
+			src = data
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	tcfg := types.Config{
+		Importer: &fixtureImporter{loader: l},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := tcfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s (fixed): %w", path, err)
+	}
+	return &Package{Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// firstDiff renders the first differing line between two texts.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("golden has %d lines, got %d", len(wl), len(gl))
 }

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+)
+
+// A TextEdit replaces the source bytes in [Pos, End) with NewText. A
+// pure insertion has Pos == End; a pure deletion has empty NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is one self-contained, automatically applicable
+// resolution for a diagnostic: a set of edits that, applied together,
+// make the diagnostic disappear. Fixes must be conservative — applying
+// one may never change program behavior beyond what its message says.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// fixEdit is a TextEdit resolved to byte offsets within one file.
+type fixEdit struct {
+	file       string
+	start, end int
+	newText    string
+}
+
+// ApplyFixes computes the post-fix contents of every file touched by
+// the diagnostics' suggested fixes. Each diagnostic contributes its
+// first fix; overlapping edits are dropped deterministically (earliest
+// start wins) so a partially fixable file still converges over repeated
+// runs. Deletions that leave a line blank are widened to remove the
+// whole line, and every rewritten file is re-formatted with gofmt.
+//
+// read supplies the current contents of a file (typically os.ReadFile);
+// the caller decides what to do with the returned map, which lets the
+// golden-file tests apply fixes without writing to the fixture tree.
+// The int result counts the edits actually applied.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, int, error) {
+	byFile := make(map[string][]fixEdit)
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		for _, e := range d.Fixes[0].Edits {
+			if !e.Pos.IsValid() || e.End < e.Pos {
+				return nil, 0, fmt.Errorf("invalid text edit in fix %q", d.Fixes[0].Message)
+			}
+			start := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if end.Filename != start.Filename {
+				return nil, 0, fmt.Errorf("fix %q spans files %s and %s", d.Fixes[0].Message, start.Filename, end.Filename)
+			}
+			byFile[start.Filename] = append(byFile[start.Filename], fixEdit{
+				file: start.Filename, start: start.Offset, end: end.Offset, newText: e.NewText,
+			})
+		}
+	}
+	if len(byFile) == 0 {
+		return nil, 0, nil
+	}
+
+	out := make(map[string][]byte, len(byFile))
+	applied := 0
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := read(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		edits := byFile[file]
+		for i := range edits {
+			edits[i] = widenLineDeletion(src, edits[i])
+		}
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		var buf []byte
+		prev := 0
+		for _, e := range edits {
+			if e.start < prev || e.end > len(src) {
+				continue // overlaps an already-applied edit (or is stale); skip
+			}
+			buf = append(buf, src[prev:e.start]...)
+			buf = append(buf, e.newText...)
+			prev = e.end
+			applied++
+		}
+		buf = append(buf, src[prev:]...)
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fixes to %s do not format: %w", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, applied, nil
+}
+
+// widenLineDeletion grows a pure deletion to cover its whole line
+// (including the trailing newline) when the bytes it would leave behind
+// on that line are only whitespace — deleting a full-line comment must
+// not leave a blank line for gofmt to preserve.
+func widenLineDeletion(src []byte, e fixEdit) fixEdit {
+	if e.newText != "" || e.start == e.end || e.end > len(src) {
+		return e
+	}
+	ls := e.start
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := e.end
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	for _, b := range src[ls:e.start] {
+		if b != ' ' && b != '\t' {
+			return e
+		}
+	}
+	for _, b := range src[e.end:le] {
+		if b != ' ' && b != '\t' {
+			return e
+		}
+	}
+	if le < len(src) {
+		le++ // swallow the newline
+	}
+	e.start, e.end = ls, le
+	return e
+}

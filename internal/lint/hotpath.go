@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotDirective marks a function as a hot-path root: the function and
+// everything statically reachable from it (within the package, plus
+// cross-package edges proven by AllocatesOnHotPath facts) must not
+// allocate. The sim cycle loop and the mesh routing step carry it.
+const hotDirective = "//lint:hot"
+
+// AllocatesOnHotPath is the fact hotpath exports for every function
+// that allocates, directly or transitively, so the guarantee crosses
+// package boundaries: internal/mesh calling an allocating internal/sim
+// function from a hot root is a diagnostic in mesh.
+type AllocatesOnHotPath struct {
+	Reasons []string `json:"reasons"`
+}
+
+func (*AllocatesOnHotPath) AFact() {}
+
+func (f *AllocatesOnHotPath) String() string {
+	return "AllocatesOnHotPath(" + renderReasons(f.Reasons, 3) + ")"
+}
+
+// HotPathAnalyzer is the machine guardrail for the event-kernel speed
+// campaign: once a loop is annotated //lint:hot, any allocation that
+// later creeps into its reach — a make, an append that can grow, a
+// fmt.Sprintf, a value boxed into an interface, a capturing closure —
+// is a diagnostic, in this package or (via facts) in any package it
+// calls into. Cold failure paths are exempt: arguments to panic are
+// not scanned.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbids allocations (make/new/append growth, fmt.Sprint*, interface " +
+		"boxing, closures) reachable from //lint:hot roots, across packages via facts",
+	FactTypes: []Fact{(*AllocatesOnHotPath)(nil)},
+	Run:       runHotPath,
+}
+
+// hpSite is one direct allocation site.
+type hpSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// hpCall is one statically resolved call edge.
+type hpCall struct {
+	pos token.Pos
+	obj *types.Func
+}
+
+// hpFunc accumulates per-function analysis state.
+type hpFunc struct {
+	decl      *ast.FuncDecl
+	obj       *types.Func
+	sites     []hpSite
+	calls     []hpCall
+	factCalls []hpCall // cross-package calls whose callee carries an AllocatesOnHotPath fact
+	allocates bool
+	reasons   []string
+}
+
+func runHotPath(pass *Pass) error {
+	var fns []*hpFunc
+	byObj := make(map[*types.Func]*hpFunc)
+	for _, fd := range funcsIn(pass.Files) {
+		obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if obj == nil {
+			continue
+		}
+		f := &hpFunc{decl: fd, obj: obj}
+		f.sites, f.calls = scanHotBody(pass, fd)
+		for _, c := range f.calls {
+			if c.obj.Pkg() != nil && c.obj.Pkg() != pass.Pkg {
+				var fact AllocatesOnHotPath
+				if pass.ImportObjectFact(c.obj, &fact) {
+					f.factCalls = append(f.factCalls, c)
+				}
+			}
+		}
+		fns = append(fns, f)
+		byObj[obj] = f
+	}
+
+	// Transitive allocation fixpoint over the local call graph, seeded
+	// by direct sites and fact-bearing cross-package callees.
+	for _, f := range fns {
+		for _, s := range f.sites {
+			f.allocates = true
+			f.reasons = append(f.reasons, s.desc)
+		}
+		for _, c := range f.factCalls {
+			f.allocates = true
+			f.reasons = append(f.reasons, "calls "+qualifiedName(c.obj)+" (which allocates)")
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if f.allocates {
+				continue
+			}
+			for _, c := range f.calls {
+				if g := byObj[c.obj]; g != nil && g.allocates {
+					f.allocates = true
+					f.reasons = append(f.reasons, "calls "+objectKey(c.obj)+" (which allocates)")
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export facts for every allocating function, so downstream
+	// packages see through this one.
+	for _, f := range fns {
+		if f.allocates {
+			pass.ExportObjectFact(f.obj, &AllocatesOnHotPath{Reasons: capReasons(f.reasons, 3)})
+		}
+	}
+
+	// Mark the hot region: BFS from //lint:hot roots, recording which
+	// root reaches each function for the diagnostic message.
+	rootVia := make(map[*hpFunc]string)
+	var queue []*hpFunc
+	for _, f := range fns {
+		if isHotRoot(f.decl) {
+			rootVia[f] = objectKey(f.obj)
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, c := range f.calls {
+			if g := byObj[c.obj]; g != nil {
+				if _, seen := rootVia[g]; !seen {
+					rootVia[g] = rootVia[f]
+					queue = append(queue, g)
+				}
+			}
+		}
+	}
+
+	for _, f := range fns {
+		root, hot := rootVia[f]
+		if !hot {
+			continue
+		}
+		for _, s := range f.sites {
+			pass.Reportf(s.pos, "allocation on hot path (rooted at %s): %s", root, s.desc)
+		}
+		for _, c := range f.factCalls {
+			var fact AllocatesOnHotPath
+			pass.ImportObjectFact(c.obj, &fact)
+			pass.Reportf(c.pos, "hot path (rooted at %s) calls %s, which allocates: %s",
+				root, qualifiedName(c.obj), renderReasons(fact.Reasons, 3))
+		}
+	}
+	return nil
+}
+
+// isHotRoot reports whether the declaration carries //lint:hot.
+func isHotRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanHotBody collects fn's direct allocation sites and resolved call
+// edges. Function-literal bodies are not descended into (the literal
+// itself is the allocation; when it runs is unknowable), and neither
+// are the arguments of panic, which by exit-code policy is a cold
+// invariant-violation path.
+func scanHotBody(pass *Pass, fn *ast.FuncDecl) (sites []hpSite, calls []hpCall) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sites = append(sites, hpSite{n.Pos(), "func literal (a heap-allocated closure)"})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					sites = append(sites, hpSite{n.Pos(), "&composite literal escapes to the heap"})
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				sites = append(sites, hpSite{n.Pos(), "map literal allocates"})
+			case *types.Slice:
+				sites = append(sites, hpSite{n.Pos(), "slice literal allocates"})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "panic":
+						return false // cold failure path
+					case "append":
+						sites = append(sites, hpSite{n.Pos(),
+							"append(" + types.ExprString(n.Args[0]) + ", …) may grow the backing array"})
+					case "make":
+						sites = append(sites, hpSite{n.Pos(),
+							"make(" + types.ExprString(n.Args[0]) + ") allocates"})
+					case "new":
+						sites = append(sites, hpSite{n.Pos(),
+							"new(" + types.ExprString(n.Args[0]) + ") allocates"})
+					}
+					return true
+				}
+			}
+			obj, _ := callee(info, n).(*types.Func)
+			if obj == nil {
+				return true
+			}
+			if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				switch obj.Name() {
+				case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf", "Append", "Appendln":
+					sites = append(sites, hpSite{n.Pos(),
+						"fmt." + obj.Name() + " formats with reflection and allocates"})
+					return true
+				}
+			}
+			calls = append(calls, hpCall{n.Pos(), obj})
+			sites = append(sites, boxingSites(info, n, obj)...)
+		}
+		return true
+	})
+	return sites, calls
+}
+
+// boxingSites flags concrete non-pointer-shaped arguments passed to
+// interface parameters: the conversion heap-allocates the value's box.
+// Constants are exempt (the compiler materializes them statically).
+func boxingSites(info *types.Info, call *ast.CallExpr, fn *types.Func) []hpSite {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	var sites []hpSite
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a slice passed through ...: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value != nil || !boxesOnConversion(tv.Type) {
+			continue
+		}
+		sites = append(sites, hpSite{arg.Pos(),
+			types.ExprString(arg) + " boxes into the " + pt.String() + " parameter of " + fn.Name()})
+	}
+	return sites
+}
+
+// boxesOnConversion reports whether converting a value of type t to an
+// interface allocates: pointer-shaped types (pointers, channels, maps,
+// funcs) fit the interface word; everything else is copied to the heap.
+func boxesOnConversion(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Info()&types.IsUntyped == 0
+	}
+	return true
+}
+
+// qualifiedName renders obj as pkg.F or pkg.T.M for diagnostics.
+func qualifiedName(obj *types.Func) string {
+	if obj.Pkg() == nil {
+		return objectKey(obj)
+	}
+	return obj.Pkg().Name() + "." + objectKey(obj)
+}
+
+// capReasons bounds a reason list for fact serialization, keeping the
+// vetx payload and downstream messages stable and small.
+func capReasons(reasons []string, max int) []string {
+	if len(reasons) <= max {
+		return reasons
+	}
+	return append(reasons[:max:max], "…")
+}

@@ -1,4 +1,4 @@
-// Package lint is the repository's static-analysis suite: four custom
+// Package lint is the repository's static-analysis suite: eight custom
 // analyzers that machine-check the invariants the reproduction's
 // correctness rests on, plus the plumbing to run them under
 // `go vet -vettool` (see cmd/repolint).
@@ -19,10 +19,28 @@
 //   - exitcode: the typed exit-code contract (0 ok / 1 fail / 2 usage /
 //     3 degraded / 130 cancelled) lives in internal/cli; nothing else
 //     may exit, log.Fatal, or panic across the pipeline boundary.
+//   - hotpath: functions annotated //lint:hot (the sim cycle loop, the
+//     mesh routing step) and everything they reach must not allocate:
+//     no make/new/append growth, no fmt.Sprintf, no interface boxing.
+//   - leakcheck: time.Ticker/Timer must be stopped, goroutines that
+//     loop must have a cancellation path, and constructor-returned
+//     handles (Close/Stop/Shutdown) must be released.
+//   - lockorder: per-struct mutexes must be acquired in one consistent
+//     order, and no lock may be held across a channel send or an HTTP
+//     round-trip.
+//   - obsconv: exported obs types must stay nil-receiver safe, and
+//     metric names must be commchar_-prefixed snake_case with _total
+//     counters and no dynamic-name cardinality.
+//
+// Analyzers export serialized per-object facts (AllocatesOnHotPath,
+// UncancellableLoop, Handle, AcquiresLocks, Blocking, NilSafe) into the
+// unit's vetx file, so a property proven in one package propagates to
+// its importers instead of stopping at the import edge. Diagnostics may
+// carry SuggestedFixes; `repolint -fix` applies them (see fix.go).
 //
 // The framework deliberately mirrors the shape of
-// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but is
-// built on the standard library only, so the module keeps a zero
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, facts)
+// but is built on the standard library only, so the module keeps a zero
 // third-party dependency footprint. Swapping an analyzer onto x/tools
 // later is a mechanical change.
 package lint
@@ -45,6 +63,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
+	// FactTypes declares the Fact implementations this analyzer may
+	// export; exporting an undeclared type is a programming error.
+	FactTypes []Fact
 	// Run inspects pass and reports diagnostics via pass.Report.
 	Run func(pass *Pass) error
 }
@@ -59,6 +80,10 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// facts backs ExportObjectFact/ImportObjectFact; nil disables the
+	// facts protocol (facts silently vanish, imports find nothing).
+	facts *FactStore
 }
 
 // Reportf reports a diagnostic at pos under the pass's rule name.
@@ -66,11 +91,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Rule: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
 
-// A Diagnostic is one reported violation.
+// ReportFix reports a diagnostic that carries one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos: pos, Rule: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Fixes:   []SuggestedFix{fix},
+	})
+}
+
+// A Diagnostic is one reported violation. Fixes, when present, are
+// alternative machine-applicable resolutions; `repolint -fix` applies
+// the first one.
 type Diagnostic struct {
 	Pos     token.Pos
 	Rule    string
 	Message string
+	Fixes   []SuggestedFix
 }
 
 // Package is a loaded, type-checked package ready to lint.
@@ -81,13 +118,19 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzers returns the full suite in a fixed order.
+// Analyzers returns the full suite in a fixed order. The fact-exporting
+// analyzers run after the factless four, and within one package each
+// analyzer sees the facts exported by the analyzers before it.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		CtxflowAnalyzer,
 		ErrTaxonomyAnalyzer,
 		ExitCodeAnalyzer,
+		HotPathAnalyzer,
+		LeakCheckAnalyzer,
+		LockOrderAnalyzer,
+		ObsConvAnalyzer,
 	}
 }
 
@@ -103,7 +146,18 @@ func AnalyzerNames() []string {
 // Run runs the given analyzers over pkg, applies //lint:allow
 // suppression, and returns the surviving diagnostics (including
 // diagnostics about the allow comments themselves) sorted by position.
+// Facts are kept in a throwaway store: use RunWithFacts to thread facts
+// across packages.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithFacts(pkg, analyzers, NewFactStore())
+}
+
+// RunWithFacts is Run with an externally owned fact store: the caller
+// seeds it with the facts of pkg's dependencies (decoded from their
+// vetx files, or computed by analyzing the dependencies first), and
+// after the call it additionally holds the facts the analyzers exported
+// for pkg itself.
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -113,6 +167,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)

@@ -34,10 +34,46 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"exitcode/internal/cli", []*Analyzer{ExitCodeAnalyzer}},
 		{"exitcode/cmd/tool", []*Analyzer{ExitCodeAnalyzer}},
 		{"allowfix/internal/pipeline", []*Analyzer{ErrTaxonomyAnalyzer}},
+		{"hotpath/internal/sim", []*Analyzer{HotPathAnalyzer}},
+		{"hotpath/internal/mesh", []*Analyzer{HotPathAnalyzer}},
+		{"leakcheck/internal/obs", []*Analyzer{LeakCheckAnalyzer}},
+		{"leakcheck/internal/dist", []*Analyzer{LeakCheckAnalyzer}},
+		{"lockorder/internal/store", []*Analyzer{LockOrderAnalyzer}},
+		{"lockorder/internal/dist", []*Analyzer{LockOrderAnalyzer}},
+		{"obsconv/internal/obs", []*Analyzer{ObsConvAnalyzer}},
+		{"obsconv/internal/dist", []*Analyzer{ObsConvAnalyzer}},
 	}
 	for _, c := range cases {
 		t.Run(c.path, func(t *testing.T) {
 			failures, err := CheckFixture(fixtureLoader, c.path, c.analyzers...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range failures {
+				t.Errorf("%s: %s: %s", f.pos, f.kind, f.text)
+			}
+		})
+	}
+}
+
+// TestSuggestedFixGoldens golden-tests the fix engine end to end: each
+// fixture under fixes/ is analyzed, every suggested fix applied, and
+// the result compared byte-for-byte against the .golden siblings. The
+// harness also re-analyzes the fixed output and fails if any
+// fix-bearing diagnostic remains (idempotence: a second `repolint
+// -fix` run must be a no-op).
+func TestSuggestedFixGoldens(t *testing.T) {
+	cases := []struct {
+		path      string
+		analyzers []*Analyzer
+	}{
+		{"fixes/internal/pipeline", []*Analyzer{ErrTaxonomyAnalyzer}},
+		{"fixes/internal/sweep", []*Analyzer{LeakCheckAnalyzer}},
+		{"fixes/internal/dist", []*Analyzer{ObsConvAnalyzer}},
+	}
+	for _, c := range cases {
+		t.Run(c.path, func(t *testing.T) {
+			failures, err := CheckFixtureFixes(fixtureLoader, c.path, c.analyzers...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +97,10 @@ func TestAnalyzerScoping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(pkg, []*Analyzer{ErrTaxonomyAnalyzer, CtxflowAnalyzer, ExitCodeAnalyzer})
+	diags, err := Run(pkg, []*Analyzer{
+		ErrTaxonomyAnalyzer, CtxflowAnalyzer, ExitCodeAnalyzer,
+		LeakCheckAnalyzer, LockOrderAnalyzer, ObsConvAnalyzer,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +116,10 @@ func TestAnalyzerScoping(t *testing.T) {
 // TestSuiteOrderIsStable pins the analyzer registry: rule names are the
 // //lint:allow vocabulary and must not drift silently.
 func TestSuiteOrderIsStable(t *testing.T) {
-	want := []string{"determinism", "ctxflow", "errtaxonomy", "exitcode"}
+	want := []string{
+		"determinism", "ctxflow", "errtaxonomy", "exitcode",
+		"hotpath", "leakcheck", "lockorder", "obsconv",
+	}
 	got := AnalyzerNames()
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)

@@ -1,0 +1,23 @@
+// Package pipeline is the fix-engine golden fixture for errtaxonomy
+// and the allow meta-rule: %v on an error value becomes %w, and a
+// stale //lint:allow comment is deleted.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Wrap stringifies its cause; -fix rewrites the verb to %w.
+func Wrap(key string) error {
+	return fmt.Errorf("load %s: %v", key, errBase)
+}
+
+//lint:allow errtaxonomy stale: the diagnostic it once suppressed is gone
+
+// Clean already wraps.
+func Clean() error {
+	return fmt.Errorf("ok: %w", errBase)
+}

@@ -1,0 +1,11 @@
+// Package sweep is the fix-engine golden fixture for leakcheck: a
+// forgotten ticker gains a deferred Stop.
+package sweep
+
+import "time"
+
+// Wait blocks for one tick.
+func Wait(d time.Duration) {
+	tick := time.NewTicker(d)
+	<-tick.C
+}

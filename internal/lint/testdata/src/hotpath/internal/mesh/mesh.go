@@ -1,0 +1,38 @@
+// Package mesh is the hotpath consuming-side fixture: its hot root
+// never allocates directly, but reaches sim.Schedule — whose
+// AllocatesOnHotPath fact crossed the package boundary — through a
+// local helper.
+package mesh
+
+import "hotpath/internal/sim"
+
+var queue []*sim.Event
+
+// route is the per-flit routing step.
+//
+//lint:hot
+func route(dst int) int {
+	if len(queue) == 0 {
+		refill()
+	}
+	return dst ^ len(queue)
+}
+
+// refill is reached from route, so the imported fact fires here.
+func refill() {
+	queue = sim.Schedule(16) // want "hotpath: hot path \\(rooted at route\\) calls sim.Schedule, which allocates"
+}
+
+// Prime is the sanctioned call site: warm-up happens before the clock
+// starts, so Schedule's allocations never land on the hot path.
+func Prime(n int) {
+	queue = sim.Schedule(n)
+}
+
+// drain refills mid-run, but deliberately: once per epoch.
+//
+//lint:hot
+func drain() {
+	//lint:allow hotpath one refill per epoch, amortized across the whole sweep
+	queue = sim.Schedule(4)
+}

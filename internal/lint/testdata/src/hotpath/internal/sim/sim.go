@@ -1,0 +1,61 @@
+// Package sim is the hotpath declaring-side fixture: a //lint:hot root
+// whose reachable allocations are diagnostics, a cold constructor whose
+// allocations become an exported fact, and an allowed warm-up append.
+package sim
+
+import "fmt"
+
+// Event is one scheduled simulator event.
+type Event struct {
+	ID       int64
+	deadline int
+}
+
+var trace []string
+
+// Step drains the queue one event at a time: the cycle-loop kernel.
+//
+//lint:hot
+func Step(events []*Event) int {
+	n := 0
+	for _, e := range events {
+		n += fire(e)
+	}
+	return n
+}
+
+// fire is reached from Step, so its allocations are hot.
+func fire(e *Event) int {
+	if e.deadline < 0 {
+		// Arguments to panic are a cold invariant-violation path: no
+		// diagnostic even though Sprintf allocates.
+		panic(fmt.Sprintf("negative deadline %d", e.deadline))
+	}
+	msg := fmt.Sprintf("ev%d", e.ID) // want "hotpath: allocation on hot path \\(rooted at Step\\): fmt.Sprintf formats with reflection"
+	trace = append(trace, msg)       // want "hotpath: allocation on hot path \\(rooted at Step\\): append\\(trace, …\\) may grow the backing array"
+	sink(e.deadline)                 // want "hotpath: allocation on hot path .* boxes into the .* parameter of sink"
+	return len(msg)
+}
+
+// sink observes a value through an interface, boxing it.
+func sink(v any) { _ = v }
+
+// Schedule allocates the queue. Off the hot path that is fine — no
+// diagnostic — but the fact follows it into every importing package.
+func Schedule(n int) []*Event { // want fact:"Schedule: AllocatesOnHotPath"
+	out := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &Event{ID: int64(i)})
+	}
+	return out
+}
+
+var buf []*Event
+
+// Flush batches events into the reusable flush buffer.
+//
+//lint:hot
+func Flush(events []*Event) {
+	//lint:allow hotpath the flush buffer is reused and only grows during warm-up
+	buf = append(buf, events...)
+}

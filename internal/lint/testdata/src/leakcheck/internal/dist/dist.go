@@ -1,0 +1,103 @@
+// Package dist is the leakcheck consuming-side fixture: ticker and
+// timer lifecycles, goroutines without a cancellation path (local and
+// proven cross-package via facts), and constructor handles that must
+// be released or handed off.
+package dist
+
+import (
+	"context"
+	"time"
+
+	"leakcheck/internal/obs"
+)
+
+// pump is cancellable by contract: it takes a context.
+func pump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// Spin loops forever with no way for shutdown to reach it.
+func Spin() { // want fact:"Spin: UncancellableLoop"
+	n := 0
+	for {
+		n++
+	}
+}
+
+// StartAll launches the worker set.
+func StartAll(ctx context.Context) {
+	go pump(ctx)
+	go Spin()     // want "leakcheck: go Spin starts a loop with no cancellation path"
+	go obs.Pump() // want "leakcheck: go obs.Pump starts a loop with no cancellation path \\(proven in leakcheck/internal/obs\\)"
+	go func() {   // want "leakcheck: goroutine loops forever with no cancellation path"
+		for {
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Background deliberately leaks: the poller lives for the process.
+func Background() {
+	//lint:allow leakcheck the poller runs for the whole process lifetime by design
+	go Spin()
+}
+
+// Poll exposes an unstoppable ticker channel.
+func Poll() <-chan time.Time {
+	return time.Tick(time.Second) // want "leakcheck: time.Tick leaks its ticker"
+}
+
+// Wait forgets to stop its ticker.
+func Wait(d time.Duration) {
+	tick := time.NewTicker(d) // want "leakcheck: time.NewTicker never stops tick"
+	<-tick.C
+}
+
+// WaitRight stops it.
+func WaitRight(d time.Duration) {
+	tick := time.NewTicker(d)
+	defer tick.Stop()
+	<-tick.C
+}
+
+// Share hands the ticker to the caller: ownership moves with it.
+func Share(d time.Duration) *time.Ticker {
+	tick := time.NewTicker(d)
+	return tick
+}
+
+// Probe drops the handle on the floor.
+func Probe() {
+	obs.StartServer() // want "leakcheck: result of obs.StartServer is a handle but is discarded"
+}
+
+// Leak keeps the handle but never releases it.
+func Leak() {
+	srv := obs.StartServer() // want "leakcheck: srv returned by obs.StartServer is never released and never escapes"
+	srv.Ping()
+}
+
+// Good releases its handle.
+func Good() {
+	srv := obs.StartServer()
+	defer srv.Close()
+	srv.Ping()
+}
+
+// Handoff transfers ownership to the caller.
+func Handoff() *obs.Server {
+	return obs.StartServer()
+}

@@ -1,0 +1,10 @@
+// Package store is the lockorder declaring-side fixture: Publish
+// blocks on a channel send, and the Blocking fact must follow it into
+// importing packages.
+package store
+
+// Publish pushes the blob to every subscriber, blocking until the
+// subscriber drains it.
+func Publish(ch chan []byte, b []byte) { // want fact:"Publish: Blocking\\(sends on a channel\\)"
+	ch <- b
+}

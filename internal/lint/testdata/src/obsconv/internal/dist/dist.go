@@ -1,0 +1,43 @@
+// Package dist is the obsconv consuming-side fixture: metric naming at
+// Registry call sites and redundant nil guards around calls to types
+// whose NilSafe fact crossed the package boundary.
+package dist
+
+import "obsconv/internal/obs"
+
+// Register wires up the sweep metrics.
+func Register(r *obs.Registry, shard string) {
+	r.Counter("commchar_dist_leases_total", "leases granted")
+	r.Counter("commchar_dist_renewals", "lease renewals") // want "obsconv: counter \"commchar_dist_renewals\" must end in _total"
+	r.Gauge("commcharDistDepth", "queue depth")           // want "obsconv: metric name \"commcharDistDepth\" violates the commchar_\\* snake_case convention"
+	r.Histogram("commchar_dist_latency_seconds", "lease latency")
+	r.Counter("commchar_dist_"+shard+"_total", "per-shard grants")
+	r.Gauge(shard+"_depth", "per-shard depth") // want "obsconv: dynamic metric name in Gauge"
+	r.CounterVecFunc("commchar_dist_by_worker_total", "per-worker grants", shard, nil) // want "obsconv: dynamic label name in CounterVecFunc"
+}
+
+// Legacy keeps a pre-convention name until the dashboards migrate.
+func Legacy(r *obs.Registry) {
+	//lint:allow obsconv the legacy dashboard still queries this name; migrating next release
+	r.Counter("legacy_hits", "hits on the legacy endpoint")
+}
+
+// Emit forwards to the observer, guarding out of habit.
+func Emit(o *obs.Observer) {
+	if o != nil { // want "obsconv: redundant nil guard: \\*Observer is nil-safe"
+		o.Emit()
+	}
+}
+
+// EmitRight trusts the seam.
+func EmitRight(o *obs.Observer) {
+	o.Emit()
+}
+
+// Reset guards and does extra work: the guard is load-bearing here.
+func Reset(o *obs.Observer, n *int) {
+	if o != nil {
+		o.Emit()
+		*n = 0
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -40,26 +41,39 @@ type vetConfig struct {
 }
 
 // VetMain implements the vettool side of the `go vet -vettool`
-// protocol for one invocation argument:
+// protocol for one invocation:
 //
-//	repolint -V=full      print a version/fingerprint line (build cache key)
-//	repolint -flags       print the tool's flags as JSON (none)
-//	repolint <unit>.cfg   analyze one package unit
+//	repolint -V=full             print a version/fingerprint line (build cache key)
+//	repolint -flags              print the tool's flags as JSON
+//	repolint [-fix] <unit>.cfg   analyze one package unit, optionally applying fixes
 //
-// It returns the process exit code: 0 clean, 1 internal error, 2 when
-// diagnostics were reported (matching x/tools' unitchecker).
-func VetMain(stdout, stderr io.Writer, arg string) int {
-	switch {
-	case arg == "-V=full":
-		fmt.Fprintf(stdout, "repolint version %s\n", toolFingerprint())
-		return 0
-	case arg == "-flags":
-		fmt.Fprintln(stdout, "[]")
-		return 0
-	case strings.HasSuffix(arg, ".cfg"):
-		return vetUnit(stderr, arg)
+// The -fix flag is declared via -flags, so `go vet -vettool=repolint
+// -fix ./...` forwards it to every unit invocation. VetMain returns the
+// process exit code: 0 clean (or every diagnostic fixed), 1 internal
+// error, 2 when diagnostics were reported (matching x/tools'
+// unitchecker).
+func VetMain(stdout, stderr io.Writer, args []string) int {
+	fix := false
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full":
+			fmt.Fprintf(stdout, "repolint version %s\n", toolFingerprint())
+			return 0
+		case arg == "-flags":
+			fmt.Fprintln(stdout, `[{"Name":"fix","Bool":true,"Usage":"apply suggested fixes and re-run gofmt"}]`)
+			return 0
+		case arg == "-fix" || arg == "-fix=true" || arg == "--fix":
+			fix = true
+		case arg == "-fix=false":
+			fix = false
+		case strings.HasSuffix(arg, ".cfg"):
+			return vetUnit(stderr, arg, fix)
+		default:
+			fmt.Fprintf(stderr, "repolint: unexpected vettool argument %q\n", arg)
+			return 1
+		}
 	}
-	fmt.Fprintf(stderr, "repolint: unexpected vettool argument %q\n", arg)
+	fmt.Fprintf(stderr, "repolint: missing unit config argument\n")
 	return 1
 }
 
@@ -81,8 +95,19 @@ func toolFingerprint() string {
 	return "lint-unknown"
 }
 
-// vetUnit analyzes the package unit described by the config file.
-func vetUnit(stderr io.Writer, cfgPath string) int {
+// factBearing reports whether the unit at importPath participates in
+// the facts protocol. Only this module's packages export facts; the
+// standard library and (hypothetical) external deps write empty vetx
+// files and are never parsed, keeping `go vet ./...` fast.
+func factBearing(importPath string) bool {
+	return importPath == "commchar" || strings.HasPrefix(importPath, "commchar/")
+}
+
+// vetUnit analyzes the package unit described by the config file. When
+// fix is set, suggested fixes are applied to the unit's source files
+// in place (gofmt re-run included) and only unfixable diagnostics keep
+// the exit status at 2.
+func vetUnit(stderr io.Writer, cfgPath string, fix bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "repolint: %v\n", err)
@@ -94,36 +119,108 @@ func vetUnit(stderr io.Writer, cfgPath string) int {
 		return 1
 	}
 
-	// Dependencies are presented with VetxOnly set: they exist only so
-	// fact-exporting analyzers can run. This suite exports no facts, so
-	// the entire standard library and module dep graph is skipped.
-	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+	// Dependency units arrive with VetxOnly set: they exist only so
+	// fact-exporting analyzers can run. Out-of-module dependencies
+	// export no facts, so the standard library is skipped wholesale;
+	// module-local dependencies are analyzed facts-only, their
+	// diagnostics discarded (the diagnostic-bearing invocation is the
+	// one whose unit names the package directly).
+	if cfg.VetxOnly && !factBearing(cfg.ImportPath) {
+		writeVetx(cfg.VetxOutput, nil)
 		return 0
 	}
 
 	pkg, err := loadUnit(&cfg)
 	if err != nil {
-		writeVetx(cfg.VetxOutput)
-		if cfg.SucceedOnTypecheckFailure {
+		writeVetx(cfg.VetxOutput, nil)
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 			return 0
 		}
 		fmt.Fprintf(stderr, "repolint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags, err := Run(pkg, Analyzers())
+
+	// Seed the fact store from the module-local dependencies' vetx
+	// files, in sorted order for determinism. A missing or undecodable
+	// vetx only costs facts, never the run.
+	store := NewFactStore()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		if factBearing(p) {
+			depPaths = append(depPaths, p)
+		}
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		if data, err := os.ReadFile(cfg.PackageVetx[p]); err == nil {
+			_ = store.DecodePackage(p, data)
+		}
+	}
+
+	diags, err := RunWithFacts(pkg, Analyzers(), store)
 	if err != nil {
 		fmt.Fprintf(stderr, "repolint: %v\n", err)
 		return 1
 	}
-	writeVetx(cfg.VetxOutput)
-	if len(diags) == 0 {
+	vetx, err := store.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 1
+	}
+	writeVetx(cfg.VetxOutput, vetx)
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
+	}
+	if fix {
+		return applyUnitFixes(stderr, pkg, cfg.ImportPath, diags)
 	}
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
 	}
 	return 2
+}
+
+// applyUnitFixes rewrites the unit's source files with every suggested
+// fix, reports what was fixed and what remains, and returns 0 when
+// nothing unfixable remains.
+func applyUnitFixes(stderr io.Writer, pkg *Package, importPath string, diags []Diagnostic) int {
+	fixed, applied, err := ApplyFixes(pkg.Fset, diags, os.ReadFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: applying fixes in %s: %v\n", importPath, err)
+		return 1
+	}
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		mode := os.FileMode(0o644)
+		if st, err := os.Stat(file); err == nil {
+			mode = st.Mode().Perm()
+		}
+		if err := os.WriteFile(file, fixed[file], mode); err != nil {
+			fmt.Fprintf(stderr, "repolint: writing fixes to %s: %v\n", file, err)
+			return 1
+		}
+	}
+	unfixed := 0
+	for _, d := range diags {
+		prefix := ""
+		if len(d.Fixes) > 0 {
+			prefix = "fixed: "
+		} else {
+			unfixed++
+		}
+		fmt.Fprintf(stderr, "%s: %s%s: %s\n", pkg.Fset.Position(d.Pos), prefix, d.Rule, d.Message)
+	}
+	if applied > 0 {
+		fmt.Fprintf(stderr, "repolint: applied %d fix edits in %s\n", applied, importPath)
+	}
+	if unfixed > 0 {
+		return 2
+	}
+	return 0
 }
 
 // loadUnit parses and type-checks the unit's non-test Go files,
@@ -186,12 +283,12 @@ func newInfo() *types.Info {
 	}
 }
 
-// writeVetx records an (empty) facts file where the build system
-// expects one, letting `go vet` cache the unit's clean result. The
-// suite is factless, so there is nothing to serialize; errors are
-// ignored because a missing facts file only costs cache hits.
-func writeVetx(path string) {
+// writeVetx records the unit's serialized facts (possibly empty) where
+// the build system expects them, letting `go vet` cache the result and
+// feed the facts to importing units. Errors are ignored because a
+// missing facts file only costs cache hits and imported facts.
+func writeVetx(path string, data []byte) {
 	if path != "" {
-		_ = os.WriteFile(path, nil, 0o666)
+		_ = os.WriteFile(path, data, 0o666)
 	}
 }

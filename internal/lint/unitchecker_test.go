@@ -13,7 +13,7 @@ import (
 func TestVetMainProtocol(t *testing.T) {
 	var out, errb strings.Builder
 
-	if code := VetMain(&out, &errb, "-V=full"); code != 0 {
+	if code := VetMain(&out, &errb, []string{"-V=full"}); code != 0 {
 		t.Fatalf("-V=full exited %d: %s", code, errb.String())
 	}
 	if !strings.HasPrefix(out.String(), "repolint version lint-") {
@@ -21,16 +21,26 @@ func TestVetMainProtocol(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := VetMain(&out, &errb, "-flags"); code != 0 || strings.TrimSpace(out.String()) != "[]" {
-		t.Errorf("-flags: code %d output %q, want 0 and []", code, out.String())
+	if code := VetMain(&out, &errb, []string{"-flags"}); code != 0 {
+		t.Errorf("-flags exited %d: %s", code, errb.String())
+	}
+	// The declared flag set is how `go vet` learns to forward -fix to
+	// every unit invocation; it must stay valid JSON naming the flag.
+	if got := strings.TrimSpace(out.String()); !strings.Contains(got, `"Name":"fix"`) || !strings.HasPrefix(got, "[") {
+		t.Errorf("-flags printed %q, want a JSON flag list declaring fix", got)
 	}
 
 	errb.Reset()
-	if code := VetMain(&out, &errb, "not-a-config"); code != 1 {
+	if code := VetMain(&out, &errb, []string{"not-a-config"}); code != 1 {
 		t.Errorf("unexpected argument exited %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "unexpected vettool argument") {
 		t.Errorf("unexpected-argument stderr %q lacks an explanation", errb.String())
+	}
+
+	errb.Reset()
+	if code := VetMain(&out, &errb, []string{"-fix"}); code != 1 {
+		t.Errorf("-fix without a unit config exited %d, want 1", code)
 	}
 }
 

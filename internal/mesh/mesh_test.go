@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -88,6 +89,37 @@ func TestRouteIsXYAndMinimal(t *testing.T) {
 			if cur != dst {
 				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
 			}
+		}
+	}
+}
+
+func TestRouteCacheReusesPath(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig(4, 4)
+	n := New(s, cfg)
+	first := n.route(0, 15)
+	second := n.route(0, 15)
+	if len(first) == 0 || len(second) != len(first) {
+		t.Fatalf("cached route differs: %d vs %d hops", len(second), len(first))
+	}
+	if &first[0] != &second[0] {
+		t.Error("route(0,15) recomputed instead of returning the cached path")
+	}
+	// The cache must not leak into the public accessors' results.
+	p1 := n.Path(0, 15)
+	p2 := n.Path(0, 15)
+	if &p1[0] == &p2[0] {
+		t.Error("Path returns the cached backing array; callers could corrupt it")
+	}
+	if n.Hops(0, 15) != manhattan(cfg, 0, 15) {
+		t.Errorf("Hops(0,15) = %d, want %d", n.Hops(0, 15), manhattan(cfg, 0, 15))
+	}
+}
+
+func TestMsgNameMatchesSprintf(t *testing.T) {
+	for _, id := range []int64{0, 1, 7, 42, 1 << 40, -1, -9000} {
+		if got, want := msgName(id), fmt.Sprintf("msg%d", id); got != want {
+			t.Errorf("msgName(%d) = %q, want %q", id, got, want)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package mesh
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"commchar/internal/sim"
@@ -60,6 +61,12 @@ type Network struct {
 	faults   Injector          // nil on fault-free runs
 	failures []error           // ErrPartitioned / ErrExhausted, in give-up order
 	pending  map[int64]Message // injected but not yet completed, for diagnostics
+
+	// routeCache memoizes the fault-free path per (src, dst): the fabric
+	// is immutable after New, so each pair is materialized exactly once
+	// and the steady-state routing step stays allocation-free. Fault
+	// detours (routeAvoiding) are time-dependent and never cached.
+	routeCache map[[2]int][]hop
 }
 
 // New builds the network on the given simulator. It panics on an invalid
@@ -69,7 +76,8 @@ func New(s *sim.Simulator, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{sim: s, cfg: cfg, topo: cfg.Fabric(), pending: map[int64]Message{}}
+	n := &Network{sim: s, cfg: cfg, topo: cfg.Fabric(), pending: map[int64]Message{},
+		routeCache: map[[2]int][]hop{}}
 	s.AddDiagnostic("mesh", n.diagnostic)
 	n.links = make([][]*link, n.topo.Nodes())
 	id := 0
@@ -163,11 +171,32 @@ func (n *Network) NextID() int64 {
 	return n.nextID
 }
 
-// route materializes the topology's deterministic path from src to dst:
-// links to traverse, with the topology's lane discipline attached (torus
-// datelines, fat-tree up/down, dragonfly minimal-path lane increment).
+// route returns the topology's deterministic path from src to dst,
+// memoized per (src, dst). It is the per-message routing step of the
+// wormhole engine; everything it reaches must stay allocation-free in
+// the steady state, which the cache provides: each pair's path is
+// materialized once and returned by reference afterwards. Callers must
+// treat the returned slice as read-only (attempt and Path already do —
+// detours replace the slice, never elements).
+//
+//lint:hot
 func (n *Network) route(src, dst int) []hop {
+	key := [2]int{src, dst}
+	if path, ok := n.routeCache[key]; ok {
+		return path
+	}
+	path := n.computeRoute(src, dst)
+	n.routeCache[key] = path
+	return path
+}
+
+// computeRoute materializes the topology's deterministic path from src
+// to dst: links to traverse, with the topology's lane discipline
+// attached (torus datelines, fat-tree up/down, dragonfly minimal-path
+// lane increment).
+func (n *Network) computeRoute(src, dst int) []hop {
 	steps := n.topo.Route(src, dst)
+	//lint:allow hotpath each (src, dst) path is materialized once and cached by route; steady-state routing is allocation-free
 	path := make([]hop, len(steps))
 	cur := src
 	for i, s := range steps {
@@ -210,7 +239,11 @@ func (n *Network) Path(src, dst int) [][2]int {
 // Inject hands a message to the network. done, if non-nil, is invoked (in
 // kernel context) when the tail flit reaches the destination. Inject may be
 // called before the simulator runs or at any point during the run, as long
-// as m.Inject is not in the simulated past.
+// as m.Inject is not in the simulated past. Traffic generators call it once
+// per message inside the cycle loop, so it is a hot root: its only
+// allocations are the per-message worm process itself.
+//
+//lint:hot
 func (n *Network) Inject(m Message, done func(Delivery)) {
 	if eps := n.topo.Endpoints(); m.Src < 0 || m.Src >= eps || m.Dst < 0 || m.Dst >= eps {
 		panic(fmt.Sprintf("mesh: message %d has endpoints %d->%d outside %d-node fabric",
@@ -224,9 +257,18 @@ func (n *Network) Inject(m Message, done func(Delivery)) {
 	}
 	n.inFlight++
 	n.pending[m.ID] = m
-	n.sim.SpawnAt(m.Inject, fmt.Sprintf("msg%d", m.ID), func(p *sim.Process) {
+	//lint:allow hotpath one worm process per injected message is the admission cost of the wormhole model, amortized across all its flits
+	n.sim.SpawnAt(m.Inject, msgName(m.ID), func(p *sim.Process) {
 		n.deliver(p, m, done)
 	})
+}
+
+// msgName renders the worm process name without fmt's reflection:
+// Inject is on the hot path, and fmt.Sprintf("msg%d", …) was its one
+// avoidable per-message allocation (the int64 boxed into fmt's variadic
+// any slot, plus the format machinery itself).
+func msgName(id int64) string {
+	return "msg" + strconv.FormatInt(id, 10)
 }
 
 // deliver is the wormhole worm: the process that walks the message's head

@@ -60,7 +60,12 @@ func NewFake(start time.Time, step time.Duration) *Fake {
 }
 
 // Now returns the fake instant, then advances the clock by the step.
+// A nil Fake reads as the zero time: like every obs handle, the nil
+// value is a safe no-op.
 func (c *Fake) Now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t := c.now
@@ -69,7 +74,11 @@ func (c *Fake) Now() time.Time {
 }
 
 // Advance moves the fake clock forward by d without counting as a read.
+// Advancing a nil Fake is a no-op.
 func (c *Fake) Advance(d time.Duration) {
+	if c == nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = c.now.Add(d)

@@ -43,7 +43,7 @@ func (f *Flags) enabled() bool {
 // owns Close (which writes -trace-out/-events-out and stops the
 // server).
 func (f *Flags) Observer(stderr io.Writer) (*Observer, error) {
-	if !f.enabled() {
+	if f == nil || !f.enabled() {
 		return nil, nil
 	}
 	o := NewObserver(System())

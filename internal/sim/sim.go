@@ -187,7 +187,11 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 }
 
 // Step fires the next event, advancing the clock. It returns false when the
-// calendar is empty.
+// calendar is empty. Step is the simulator's cycle loop — every event of
+// every characterization run funnels through it — so it is a hot root:
+// nothing it reaches may allocate.
+//
+//lint:hot
 //lint:allow ctxflow pops at most one event per iteration, bounded by the calendar; cancellation is Run's and RunCheckedContext's job
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
