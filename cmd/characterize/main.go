@@ -35,6 +35,7 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/core"
 	"commchar/internal/dist"
+	"commchar/internal/mp"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
@@ -53,6 +54,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	traceOut := fs.String("app-trace-out", "", "write the application trace (CSV, static strategy only) to this file")
 	list := fs.Bool("list", false, "list the application suite and exit")
 	topology := fs.String("topology", "", "interconnect fabric: "+strings.Join(core.TopologyNames(), ", ")+" (default: the paper's 2-D mesh)")
+	collectives := fs.String("collectives", "", "collective algorithm family: "+strings.Join(mp.AlgorithmNames(), ", ")+" (default: linear)")
 	dimsFlag := fs.String("dims", "", "fabric dimensions, e.g. 4,4,4 (topology-specific; default: derived from -procs)")
 	workers := fs.String("workers", "", "comma-separated sweepd worker control URLs: run remotely on this fleet")
 	distListen := fs.String("dist-listen", "127.0.0.1:0", "address to serve the coordinator lease API on (with -workers)")
@@ -153,6 +155,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	art, err := eng.RunContext(ctx, pipeline.RunSpec{
 		App: *app, Procs: *procs, Scale: sc,
 		Topology: *topology, Dims: dims,
+		Collectives: *collectives,
 	})
 	if err != nil {
 		return err

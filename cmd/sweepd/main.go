@@ -48,6 +48,7 @@ import (
 	"commchar/internal/core"
 	"commchar/internal/dist"
 	"commchar/internal/fault"
+	"commchar/internal/mp"
 	"commchar/internal/obs"
 	"commchar/internal/pipeline"
 	"commchar/internal/report"
@@ -64,6 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	appsFlag := fs.String("apps", "", "comma-separated application names to sweep (default: the whole suite)")
 	procsFlag := fs.String("procs", "16", "comma-separated processor counts to sweep")
 	topoFlag := fs.String("topologies", "", "comma-separated interconnect fabrics to sweep: "+strings.Join(core.TopologyNames(), ", ")+" (default: the paper's 2-D mesh)")
+	collFlag := fs.String("collectives", "", "comma-separated collective algorithm families to sweep: "+strings.Join(mp.AlgorithmNames(), ", ")+" (default: linear)")
 	scale := fs.String("scale", "full", "problem scale: full or small")
 	lease := fs.Duration("lease", 15*time.Second, "lease duration before unfinished work is re-enqueued")
 	maxAttempts := fs.Int("max-attempts", 5, "lease grants per spec before the coordinator fails it permanently")
@@ -105,7 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	return runCoordinator(ctx, coordinatorConfig{
 		listen: *listen, apps: *appsFlag, procs: *procsFlag,
-		topologies: *topoFlag, scale: *scale,
+		topologies: *topoFlag, collectives: *collFlag, scale: *scale,
 		lease: *lease, maxAttempts: *maxAttempts, workers: *workers,
 		advertise: *advertise, local: *local,
 		blobDir: *blobDir, speculate: *speculate, pf: pf, cf: cf,
@@ -117,6 +119,7 @@ type coordinatorConfig struct {
 	apps        string
 	procs       string
 	topologies  string
+	collectives string
 	scale       string
 	lease       time.Duration
 	maxAttempts int
@@ -130,7 +133,7 @@ type coordinatorConfig struct {
 }
 
 func runCoordinator(ctx context.Context, cfg coordinatorConfig, ob *obs.Observer, stdout, stderr io.Writer) error {
-	specs, err := sweepSpecs(cfg.apps, cfg.procs, cfg.topologies, cfg.scale)
+	specs, err := sweepSpecs(cfg.apps, cfg.procs, cfg.topologies, cfg.collectives, cfg.scale)
 	if err != nil {
 		return err
 	}
@@ -309,12 +312,13 @@ func runWorker(ctx context.Context, cfg workerConfig, ob *obs.Observer, stdout, 
 	return w.Run(ctx)
 }
 
-// sweepSpecs expands the -apps/-procs/-topologies/-scale cross product
-// into specs, in the stable apps-major (then procs, then topology) order
-// the reports are rendered in. An empty topology list sweeps only the
-// default 2-D mesh, producing specs — and therefore cache keys — identical
-// to builds that predate the topology dimension.
-func sweepSpecs(appsList, procsList, topoList, scale string) ([]pipeline.RunSpec, error) {
+// sweepSpecs expands the -apps/-procs/-topologies/-collectives/-scale
+// cross product into specs, in the stable apps-major (then procs, then
+// topology, then collectives) order the reports are rendered in. Empty
+// topology and collectives lists sweep only the defaults (2-D mesh,
+// linear family), producing specs — and therefore cache keys — identical
+// to builds that predate those dimensions.
+func sweepSpecs(appsList, procsList, topoList, collList, scale string) ([]pipeline.RunSpec, error) {
 	sc := apps.ScaleFull
 	if scale == "small" {
 		sc = apps.ScaleSmall
@@ -353,17 +357,35 @@ func sweepSpecs(appsList, procsList, topoList, scale string) ([]pipeline.RunSpec
 			return nil, cli.Usagef("-topologies: %v", err)
 		}
 	}
+	colls := splitList(collList)
+	if len(colls) == 0 {
+		colls = []string{""}
+	}
+	for _, c := range colls {
+		if _, err := mp.ParseAlgorithm(c); err != nil {
+			return nil, cli.Usagef("-collectives: %v", err)
+		}
+	}
 	var specs []pipeline.RunSpec
 	for _, n := range names {
 		for _, p := range procs {
 			for _, t := range topos {
-				s := pipeline.RunSpec{App: n, Procs: p, Scale: sc, Topology: t}
-				if t != "" {
-					// Label the report row with the fabric so a topology
-					// sweep's rows stay distinguishable.
-					s.Name = n + "/" + t
+				for _, c := range colls {
+					s := pipeline.RunSpec{App: n, Procs: p, Scale: sc, Topology: t, Collectives: c}
+					// Label the report row with the swept dimensions so
+					// the rows stay distinguishable.
+					label := n
+					if t != "" {
+						label += "/" + t
+					}
+					if c != "" {
+						label += "/" + c
+					}
+					if label != n {
+						s.Name = label
+					}
+					specs = append(specs, s)
 				}
-				specs = append(specs, s)
 			}
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"commchar/internal/coll"
 	"commchar/internal/mesh"
 	"commchar/internal/sim"
 	"commchar/internal/stats"
@@ -87,6 +88,11 @@ type Characterization struct {
 	// strategy records one (static strategy only; nil otherwise). It can
 	// be re-replayed offline, e.g. through meshsim's fault injection.
 	Trace *trace.Trace
+
+	// Coll is the collective-communication and asynchronicity
+	// characterization, present when the trace carries mp's collective
+	// tag blocks (static strategy only; nil otherwise).
+	Coll *coll.Characterization `json:",omitempty"`
 }
 
 // minSourceSamples is the fewest inter-arrival samples worth fitting.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"commchar/internal/coll"
 	"commchar/internal/mesh"
 	"commchar/internal/mp"
 	"commchar/internal/sim"
@@ -24,17 +25,28 @@ type RawRun struct {
 	// Trace is the application-level trace, when the acquisition records
 	// one (static strategy); nil otherwise.
 	Trace *trace.Trace
+	// Cost is the software-overhead model the replay charged (static
+	// strategy; nil means zero cost). The collective analysis replays
+	// the timeline under the same model to recover idle time exactly.
+	Cost trace.CostModel
 	// Failures are per-message delivery failures (fault-injected runs).
 	Failures []error
 }
 
-// Characterize runs the analyze stage on the raw run.
+// Characterize runs the analyze stage on the raw run: the paper's three
+// point-to-point attributes, plus — when the trace carries mp's
+// collective tag blocks — the collective/asynchronicity characterization.
 func (r *RawRun) Characterize(name string, strategy Strategy) (*Characterization, error) {
 	c, err := Analyze(name, strategy, r.Log, r.Procs, r.Elapsed, r.MeanUtil)
 	if err != nil {
 		return nil, err
 	}
 	c.Trace = r.Trace
+	cc, err := coll.Analyze(r.Trace, r.Log, r.Cost, r.Elapsed)
+	if err != nil {
+		return nil, fmt.Errorf("core: collective analysis of %s: %w", name, err)
+	}
+	c.Coll = cc
 	return c, nil
 }
 
@@ -70,7 +82,15 @@ func AcquireSharedMemoryOnContext(ctx context.Context, m *spasm.Machine, run fun
 // the message-passing program natively on the SP2-like machine and return
 // its application-level trace (replayed through the mesh by ReplayTrace).
 func AcquireMessagePassing(procs int, run func(w *mp.World) error) (*trace.Trace, error) {
-	w := mp.NewWorld(mp.DefaultConfig(procs))
+	return AcquireMessagePassingWith(procs, mp.AlgLinear, run)
+}
+
+// AcquireMessagePassingWith is AcquireMessagePassing with the collective
+// algorithm family of the native machine selected.
+func AcquireMessagePassingWith(procs int, alg mp.Algorithm, run func(w *mp.World) error) (*trace.Trace, error) {
+	cfg := mp.DefaultConfig(procs)
+	cfg.Collectives = alg
+	w := mp.NewWorld(cfg)
 	if err := run(w); err != nil {
 		return nil, err
 	}
@@ -124,6 +144,7 @@ func ReplayTraceObserved(ctx context.Context, tr *trace.Trace, cfg mesh.Config, 
 		Events:   s.EventsFired(),
 		Log:      net.Log(),
 		Trace:    tr,
+		Cost:     cost,
 		Failures: net.Failures(),
 	}, nil
 }

@@ -15,6 +15,10 @@ var ctxEntryPackages = []string{
 	// The distributed layer's poll and heartbeat loops run until a remote
 	// process says stop; an uncancellable one pins a worker forever.
 	"internal/dist",
+	// Collective analysis walks whole delivery logs; its exported entry
+	// points sit on the characterization path and must stay cancellable
+	// if they ever grow condition-only loops or filesystem I/O.
+	"internal/coll",
 }
 
 // ioFuncs are the os entry points whose latency is unbounded from the

@@ -18,6 +18,10 @@ var simulationPackages = []string{
 	"internal/stats",
 	"internal/mesh",
 	"internal/ccnuma",
+	// The collective extractor reconstructs per-rank timelines from the
+	// delivery log; its instance tables are keyed maps, so an unsorted
+	// iteration there reorders the characterization between runs.
+	"internal/coll",
 }
 
 // clockedPackages are the packages that may observe the host clock, but

@@ -22,7 +22,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"determ/a", []*Analyzer{DeterminismAnalyzer}},
 		{"determ/internal/sim", []*Analyzer{DeterminismAnalyzer}},
 		{"determ/internal/mesh", []*Analyzer{DeterminismAnalyzer}},
+		{"determ/internal/coll", []*Analyzer{DeterminismAnalyzer}},
 		{"ctxflow/internal/core", []*Analyzer{CtxflowAnalyzer}},
+		{"ctxflow/internal/coll", []*Analyzer{CtxflowAnalyzer}},
 		{"obsclock/internal/obs", []*Analyzer{DeterminismAnalyzer}},
 		{"obsclock/internal/pipeline", []*Analyzer{DeterminismAnalyzer}},
 		{"obsclock/internal/dist", []*Analyzer{DeterminismAnalyzer}},

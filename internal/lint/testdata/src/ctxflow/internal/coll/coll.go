@@ -1,0 +1,62 @@
+// Package coll exercises the ctxflow analyzer over the collective
+// extractor: internal/coll is an entry package, so an exported analysis
+// pass that drains arrival queues until empty, or spools a timeline to
+// disk, must stay reachable by cancellation. The shipped extractor uses
+// only range and counted loops — these fixtures pin the boundary it
+// must not cross.
+package coll
+
+import (
+	"context"
+	"os"
+)
+
+// Bad: an exported drain with a condition-only loop and no ctx — a
+// malformed log would spin it forever with no way to stop the run.
+func DrainQueues(pending []int) int { // want "ctxflow: exported DrainQueues contains a condition-only loop but takes no context.Context"
+	drained := 0
+	for len(pending) > 0 {
+		pending = pending[1:]
+		drained++
+	}
+	return drained
+}
+
+// Bad: exported timeline export touches the filesystem without a ctx.
+func SpoolTimeline(path string, rows []byte) error { // want "ctxflow: exported SpoolTimeline contains filesystem I/O \\(os.WriteFile\\) but takes no context.Context"
+	return os.WriteFile(path, rows, 0o644)
+}
+
+// Good: the cancellable variant threads the caller's context.
+func DrainQueuesContext(ctx context.Context, pending []int) (int, error) {
+	drained := 0
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return drained, err
+		}
+		pending = pending[1:]
+		drained++
+	}
+	return drained, nil
+}
+
+// Good: range and counted loops are bounded by the delivery log — the
+// shapes the real extractor is built from need no context.
+func AttributeMessages(tags []int) map[int]int {
+	byBlock := make(map[int]int)
+	for _, t := range tags {
+		byBlock[t] += 1
+	}
+	return byBlock
+}
+
+// Good: unexported walkers may loop freely — bounding them is the
+// exported entry point's job.
+func drain(pending []int) int {
+	drained := 0
+	for len(pending) > 0 {
+		pending = pending[1:]
+		drained++
+	}
+	return drained
+}

@@ -1,0 +1,75 @@
+// Package coll exercises the determinism analyzer over the collective
+// extractor's central hazard: per-rank instance tables keyed by block
+// number. Instances are assembled in a map while walking each rank's
+// timeline, so flattening that map in iteration order permutes the
+// instance list — and with it the fitted model's design matrix — between
+// otherwise identical runs. Both sides are covered: the order-leaking
+// shapes are flagged, the canonical collect-and-sort repairs are not.
+package coll
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type instance struct {
+	Block int
+	Span  int64
+}
+
+// Bad: instances are flattened in map-iteration order and handed to the
+// model fit unsorted, so the residual ordering depends on map layout.
+func flattenUnsorted(byBlock map[int]instance) []instance {
+	var out []instance
+	for _, inst := range byBlock { // want "determinism: map range appends to \"out\" but the function never sorts it"
+		out = append(out, inst)
+	}
+	return out
+}
+
+// Bad: rendering the per-op table mid-range leaks iteration order into
+// the report stream; no later sort can repair emitted bytes.
+func renderPerOp(spans map[string]int64) {
+	for op, span := range spans { // want "determinism: map iteration order reaches fmt.Printf directly"
+		fmt.Printf("%s %d\n", op, span)
+	}
+}
+
+// Bad: ordering instances by span alone is not a total order — equal
+// spans (identical barriers) permute under -parallel.
+func sortBySpanOnly(insts []instance) {
+	sort.Slice(insts, func(i, j int) bool { // want "determinism: sort.Slice orders structs by field .Span alone"
+		return insts[i].Span < insts[j].Span
+	})
+}
+
+// Bad: internal/coll is a simulation-scope package — timeline
+// reconstruction works in simulated nanoseconds, never the host clock.
+func stampAnalysis() int64 {
+	return time.Now().UnixNano() // want "determinism: wall-clock time.Now in a simulation package"
+}
+
+// Good: collect block keys, sort, then flatten — the canonical repair.
+func flattenSorted(byBlock map[int]instance) []instance {
+	keys := make([]int, 0, len(byBlock))
+	for k := range byBlock {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]instance, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byBlock[k])
+	}
+	return out
+}
+
+// Good: a span ordering with a unique tie-break restores totality.
+func sortBySpanThenBlock(insts []instance) {
+	sort.Slice(insts, func(i, j int) bool {
+		if insts[i].Span != insts[j].Span {
+			return insts[i].Span < insts[j].Span
+		}
+		return insts[i].Block < insts[j].Block
+	})
+}

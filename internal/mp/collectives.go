@@ -1,24 +1,251 @@
 package mp
 
-// Collectives are built from point-to-point operations, as the early MPI
-// implementations on the SP2 built them. Broadcast and reduce are linear
-// and root-centric — which is what makes the root the "favorite processor"
-// in the paper's 3D-FFT spatial distributions. Internal tags live in the
-// negative tag space so they can never collide with application tags; each
-// collective instance draws a fresh block from the rank's collective
-// counter (legal because SPMD ranks execute collectives in identical
-// order).
+import "fmt"
 
-// collectiveTagBase reserves the negative tag space for collectives.
-const collectiveTagBase = -1 << 20
+// Collectives are built from point-to-point operations, as the early MPI
+// implementations on the SP2 built them. The default family is linear and
+// root-centric — which is what makes the root the "favorite processor"
+// in the paper's 3D-FFT spatial distributions — with a binomial-tree
+// family selectable per world (Config.Collectives) for Bcast and Reduce.
+// Internal tags live in the negative tag space so they can never collide
+// with application tags; each collective instance draws a fresh block
+// from the rank's collective counter (legal because SPMD ranks execute
+// collectives in identical order), and the offset within the block
+// encodes which operation and algorithm produced the message. That
+// encoding is what lets internal/coll reassemble the delivery log into
+// collective instances exactly.
+
+// CollectiveTagBase is the top of the reserved negative tag space:
+// collective tags occupy (CollectiveTagBase - 2^20, CollectiveTagBase].
+const CollectiveTagBase = -1 << 20
+
+// CollectiveBlockSize is the number of tags one collective instance
+// reserves; offsets within a block distinguish operation phases.
+const CollectiveBlockSize = 16
+
+// CollectiveBlocks is the per-rank instance capacity of the reserved
+// space. Instance CollectiveBlocks would collide with the block below
+// the reserved window, so nextCollectiveTag refuses to issue it.
+const CollectiveBlocks = (1 << 20) / CollectiveBlockSize
+
+// Block offsets: the tag of a phase is blockBase - offset. Every
+// (operation, algorithm) pair owns a distinct offset so the delivery log
+// identifies both. Barrier keeps the historical 0/1 pair.
+const (
+	offBarrierEnter   = 0 // linear gather toward rank 0
+	offBarrierRelease = 1 // release fan-out from rank 0
+	offBcastLinear    = 2
+	offBcastBinomial  = 3
+	offGatherLinear   = 4
+	offReduceLinear   = 5
+	offReduceBinomial = 6
+	offAlltoallPhased = 7
+)
+
+// Algorithm selects the collective algorithm family of a World. The zero
+// value is the historical linear family, so existing configurations and
+// traces are unchanged.
+type Algorithm int
+
+const (
+	// AlgLinear is the linear, root-centric family: the root sends to or
+	// receives from every other rank directly.
+	AlgLinear Algorithm = iota
+	// AlgBinomial organizes Bcast and Reduce as binomial trees (the
+	// MPICH small-message algorithms): ceil(log2 P) sequential steps
+	// instead of P-1. Operations without a tree variant (Barrier,
+	// Gather, Alltoall) keep their linear/pairwise implementations.
+	AlgBinomial
+)
+
+// String returns the algorithm family name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgLinear:
+		return "linear"
+	case AlgBinomial:
+		return "binomial"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// AlgorithmNames lists the selectable collective algorithm families.
+func AlgorithmNames() []string { return []string{"linear", "binomial"} }
+
+// ParseAlgorithm parses an algorithm family name; the empty string is
+// the default (linear) family.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "linear":
+		return AlgLinear, nil
+	case "binomial":
+		return AlgBinomial, nil
+	}
+	return 0, fmt.Errorf("mp: unknown collective algorithm %q (have linear, binomial)", s)
+}
+
+// CollectiveOp names the operation a collective tag block encodes.
+type CollectiveOp int
+
+const (
+	// OpBarrier is the gather-release barrier through rank 0.
+	OpBarrier CollectiveOp = iota
+	// OpBcast is the one-to-all broadcast.
+	OpBcast
+	// OpGather is the all-to-one gather.
+	OpGather
+	// OpReduce is the all-to-one reduction.
+	OpReduce
+	// OpAlltoall is the personalized all-to-all exchange.
+	OpAlltoall
+)
+
+// String returns the operation name.
+func (o CollectiveOp) String() string {
+	switch o {
+	case OpBarrier:
+		return "barrier"
+	case OpBcast:
+		return "bcast"
+	case OpGather:
+		return "gather"
+	case OpReduce:
+		return "reduce"
+	case OpAlltoall:
+		return "alltoall"
+	}
+	return fmt.Sprintf("CollectiveOp(%d)", int(o))
+}
+
+// AlgorithmName returns the display name of the algorithm family as it
+// applies to this operation: Alltoall is pairwise-phased regardless of
+// the configured family, and Barrier/Gather only exist in linear form.
+func (o CollectiveOp) AlgorithmName(a Algorithm) string {
+	if o == OpAlltoall {
+		return "pairwise"
+	}
+	return a.String()
+}
+
+// Shape names the fan-out shape of the operation under the algorithm.
+func (o CollectiveOp) Shape(a Algorithm) string {
+	switch o {
+	case OpBarrier:
+		return "gather-release"
+	case OpBcast:
+		if a == AlgBinomial {
+			return "binomial-tree"
+		}
+		return "star-out"
+	case OpGather:
+		return "star-in"
+	case OpReduce:
+		if a == AlgBinomial {
+			return "binomial-tree"
+		}
+		return "star-in"
+	case OpAlltoall:
+		return "pairwise-ring"
+	}
+	return "unknown"
+}
+
+// SequentialDepth returns the serial message depth of the operation's
+// fan-out shape on p ranks: the number of message steps that cannot
+// overlap, which is the "S" multiplier of the pLogP-style span model
+// span ≈ L + o·S + G·S·m fitted by internal/coll.
+func (o CollectiveOp) SequentialDepth(a Algorithm, p int) int {
+	if p < 2 {
+		return 0
+	}
+	switch o {
+	case OpBarrier:
+		return 2 * (p - 1) // gather then release, both through rank 0
+	case OpBcast, OpReduce:
+		if a == AlgBinomial {
+			return log2Ceil(p)
+		}
+		return p - 1
+	case OpGather:
+		return p - 1
+	case OpAlltoall:
+		return p - 1 // pairwise phases
+	}
+	return 0
+}
+
+// log2Ceil returns ceil(log2 p) for p >= 1.
+func log2Ceil(p int) int {
+	d := 0
+	for s := 1; s < p; s <<= 1 {
+		d++
+	}
+	return d
+}
+
+// TagInfo is the decoded identity of one collective-space tag.
+type TagInfo struct {
+	// Block is the per-rank collective sequence number the tag belongs
+	// to. SPMD ranks execute collectives in identical order, so the same
+	// block number names the same collective instance on every rank.
+	Block int
+	// Op and Algorithm identify what produced the message.
+	Op        CollectiveOp
+	Algorithm Algorithm
+	// Phase distinguishes sub-phases of one instance (the barrier's
+	// gather=0 / release=1); 0 for single-phase operations.
+	Phase int
+}
+
+// DecodeTag recovers the collective identity of a tag, reporting false
+// for application tags and tags outside the reserved encoding.
+func DecodeTag(tag int) (TagInfo, bool) {
+	if tag > CollectiveTagBase {
+		return TagInfo{}, false
+	}
+	d := CollectiveTagBase - tag
+	block, off := d/CollectiveBlockSize, d%CollectiveBlockSize
+	if block >= CollectiveBlocks {
+		return TagInfo{}, false
+	}
+	switch off {
+	case offBarrierEnter:
+		return TagInfo{Block: block, Op: OpBarrier, Algorithm: AlgLinear}, true
+	case offBarrierRelease:
+		return TagInfo{Block: block, Op: OpBarrier, Algorithm: AlgLinear, Phase: 1}, true
+	case offBcastLinear:
+		return TagInfo{Block: block, Op: OpBcast, Algorithm: AlgLinear}, true
+	case offBcastBinomial:
+		return TagInfo{Block: block, Op: OpBcast, Algorithm: AlgBinomial}, true
+	case offGatherLinear:
+		return TagInfo{Block: block, Op: OpGather, Algorithm: AlgLinear}, true
+	case offReduceLinear:
+		return TagInfo{Block: block, Op: OpReduce, Algorithm: AlgLinear}, true
+	case offReduceBinomial:
+		return TagInfo{Block: block, Op: OpReduce, Algorithm: AlgBinomial}, true
+	case offAlltoallPhased:
+		return TagInfo{Block: block, Op: OpAlltoall, Algorithm: AlgLinear}, true
+	}
+	return TagInfo{}, false
+}
 
 // nextCollectiveTag returns the base tag for this rank's next collective.
-// Offsets 0..15 within the block distinguish phases of one collective.
+// Offsets within the block distinguish phases of one collective. The
+// reserved space holds CollectiveBlocks instances per rank; exhausting it
+// would alias the block below the window (and eventually application tag
+// space), so running out fails loudly instead of corrupting matching.
 func (r *Rank) nextCollectiveTag() int {
-	t := collectiveTagBase - r.collective*16
+	if r.collective >= CollectiveBlocks {
+		panic(fmt.Sprintf("mp: rank %d exhausted the collective tag space (%d instances); "+
+			"the next block would alias tags outside the reserved window", r.id, r.collective))
+	}
+	t := CollectiveTagBase - r.collective*CollectiveBlockSize
 	r.collective++
 	return t
 }
+
+// alg returns the world's configured collective algorithm family.
+func (r *Rank) alg() Algorithm { return r.world.cfg.Collectives }
 
 // Barrier blocks until every rank has entered it. It is implemented as a
 // linear gather-release through rank 0.
@@ -27,21 +254,29 @@ func (r *Rank) Barrier() {
 	const signal = 4 // bytes of a control message
 	if r.id == 0 {
 		for src := 1; src < r.Size(); src++ {
-			r.Recv(src, tag)
+			r.Recv(src, tag-offBarrierEnter)
 		}
 		for dst := 1; dst < r.Size(); dst++ {
-			r.Send(dst, tag-1, signal, nil)
+			r.Send(dst, tag-offBarrierRelease, signal, nil)
 		}
 		return
 	}
-	r.Send(0, tag, signal, nil)
-	r.Recv(0, tag-1)
+	r.Send(0, tag-offBarrierEnter, signal, nil)
+	r.Recv(0, tag-offBarrierRelease)
 }
 
 // Bcast distributes data (bytes long) from root to every rank and returns
 // it. Non-root callers pass nil data.
 func (r *Rank) Bcast(root, bytes int, data any) any {
 	tag := r.nextCollectiveTag()
+	if r.alg() == AlgBinomial {
+		return r.bcastBinomial(tag-offBcastBinomial, root, bytes, data)
+	}
+	return r.bcastLinear(tag-offBcastLinear, root, bytes, data)
+}
+
+// bcastLinear is the root-centric broadcast: root sends to every rank.
+func (r *Rank) bcastLinear(tag, root, bytes int, data any) any {
 	if r.id == root {
 		for dst := 0; dst < r.Size(); dst++ {
 			if dst != root {
@@ -54,10 +289,34 @@ func (r *Rank) Bcast(root, bytes int, data any) any {
 	return payload
 }
 
+// bcastBinomial is the binomial-tree broadcast (the MPICH small-message
+// algorithm): on relative rank rel = (id-root) mod P, a rank receives
+// from the parent that clears its lowest set bit, then forwards down the
+// sub-tree. ceil(log2 P) sequential steps instead of P-1.
+func (r *Rank) bcastBinomial(tag, root, bytes int, data any) any {
+	n := r.Size()
+	rel := (r.id - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := ((rel &^ mask) + root) % n
+			_, data = r.Recv(parent, tag)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			r.Send((rel+mask+root)%n, tag, bytes, data)
+		}
+	}
+	return data
+}
+
 // Gather collects every rank's contribution at root, returning a slice
 // indexed by rank at the root and nil elsewhere.
 func (r *Rank) Gather(root, bytes int, data any) []any {
-	tag := r.nextCollectiveTag()
+	tag := r.nextCollectiveTag() - offGatherLinear
 	if r.id == root {
 		out := make([]any, r.Size())
 		out[root] = data
@@ -74,10 +333,22 @@ func (r *Rank) Gather(root, bytes int, data any) []any {
 	return nil
 }
 
-// Reduce folds every rank's value into one at root using combine, returning
-// the result at root and nil elsewhere. combine must be associative.
+// Reduce folds every rank's value into one at root using combine,
+// returning the result at root and nil elsewhere. combine must be
+// associative; both families apply it in a fixed deterministic order
+// (ascending rank for linear, ascending relative rank for binomial), but
+// the two orders differ, so a non-commutative combine yields
+// family-dependent results.
 func (r *Rank) Reduce(root, bytes int, val any, combine func(a, b any) any) any {
 	tag := r.nextCollectiveTag()
+	if r.alg() == AlgBinomial {
+		return r.reduceBinomial(tag-offReduceBinomial, root, bytes, val, combine)
+	}
+	return r.reduceLinear(tag-offReduceLinear, root, bytes, val, combine)
+}
+
+// reduceLinear is the root-centric reduction: every rank sends to root.
+func (r *Rank) reduceLinear(tag, root, bytes int, val any, combine func(a, b any) any) any {
 	if r.id == root {
 		acc := val
 		for src := 0; src < r.Size(); src++ {
@@ -91,6 +362,27 @@ func (r *Rank) Reduce(root, bytes int, val any, combine func(a, b any) any) any 
 	}
 	r.Send(root, tag, bytes, val)
 	return nil
+}
+
+// reduceBinomial is the binomial-tree reduction, the mirror of
+// bcastBinomial: each rank folds in its sub-tree children in ascending
+// relative-rank order, then forwards the partial result to its parent.
+func (r *Rank) reduceBinomial(tag, root, bytes int, val any, combine func(a, b any) any) any {
+	n := r.Size()
+	rel := (r.id - root + n) % n
+	acc := val
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := ((rel &^ mask) + root) % n
+			r.Send(parent, tag, bytes, acc)
+			return nil
+		}
+		if child := rel | mask; child < n {
+			_, payload := r.Recv((child+root)%n, tag)
+			acc = combine(acc, payload)
+		}
+	}
+	return acc // only relative rank 0 (the root) reaches here
 }
 
 // Allreduce is Reduce to rank 0 followed by Bcast of the result.
@@ -107,7 +399,7 @@ func (r *Rank) Alltoall(bytesPer int, chunks []any) []any {
 	if len(chunks) != r.Size() {
 		panic("mp: Alltoall needs one chunk per rank")
 	}
-	tag := r.nextCollectiveTag()
+	tag := r.nextCollectiveTag() - offAlltoallPhased
 	out := make([]any, r.Size())
 	out[r.id] = chunks[r.id]
 	n := r.Size()

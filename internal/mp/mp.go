@@ -25,6 +25,9 @@ type Config struct {
 	HWLatency sim.Duration
 	// HWPerByte is the hardware per-byte transfer time.
 	HWPerByte float64 // ns per byte
+	// Collectives selects the collective algorithm family; the zero
+	// value is the historical linear family.
+	Collectives Algorithm
 	// Watchdog bounds the run (events, simulated time, wall clock); the
 	// zero value relies on structural deadlock detection alone, which
 	// already terminates any blocked-rank deadlock.

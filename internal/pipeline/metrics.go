@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +57,49 @@ type Metrics struct {
 	topoRuns  map[string]int64
 	topoMsgs  map[string]int64
 	topoSimNS map[string]int64
+
+	// Per-collective-op accounting, keyed by "op/algorithm" (e.g.
+	// "bcast/binomial") as characterized by internal/coll. Exported as
+	// labeled commchar_coll_* counter families; absent from the text
+	// Summary so its byte layout stays stable.
+	collMu    sync.Mutex
+	collInsts map[string]int64
+	collMsgs  map[string]int64
+	collBytes map[string]int64
+}
+
+// collRun records one executed run's collective characterization for one
+// (op, algorithm) group: its instances, messages, and payload bytes.
+func (m *Metrics) collRun(op string, instances, messages, bytes int64) {
+	m.collMu.Lock()
+	defer m.collMu.Unlock()
+	if m.collInsts == nil {
+		m.collInsts = map[string]int64{}
+		m.collMsgs = map[string]int64{}
+		m.collBytes = map[string]int64{}
+	}
+	m.collInsts[op] += instances
+	m.collMsgs[op] += messages
+	m.collBytes[op] += bytes
+}
+
+// CollInstances returns the per-op collective instance counts (a copy).
+func (m *Metrics) CollInstances() map[string]int64 { return m.collSnapshot(&m.collInsts) }
+
+// CollMessages returns the per-op collective message counts (a copy).
+func (m *Metrics) CollMessages() map[string]int64 { return m.collSnapshot(&m.collMsgs) }
+
+// CollBytes returns the per-op collective payload bytes (a copy).
+func (m *Metrics) CollBytes() map[string]int64 { return m.collSnapshot(&m.collBytes) }
+
+func (m *Metrics) collSnapshot(src *map[string]int64) map[string]int64 {
+	m.collMu.Lock()
+	defer m.collMu.Unlock()
+	out := make(map[string]int64, len(*src))
+	for k, v := range *src {
+		out[k] = v
+	}
+	return out
 }
 
 // topoRun records one executed simulation on the named topology: the run
@@ -150,6 +195,21 @@ func (m *Metrics) Summary() *report.Table {
 	if n := m.JournalErrors.Load(); n > 0 {
 		t.AddRow("journal errors", fmt.Sprintf("%d", n))
 	}
+	// Collective rows appear only when an executed run carried collective
+	// traffic, keeping pre-collectives summaries byte-stable.
+	if insts := m.CollInstances(); len(insts) > 0 {
+		var total int64
+		keys := make([]string, 0, len(insts))
+		for k := range insts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			total += insts[k]
+		}
+		t.AddRow("collective instances", fmt.Sprintf("%d", total))
+		t.AddRow("collective ops", strings.Join(keys, " "))
+	}
 	return t
 }
 
@@ -194,4 +254,10 @@ func (m *Metrics) RegisterWith(r *obs.Registry) {
 		"network-log messages recorded per interconnect topology", "topology", m.TopoMessages)
 	r.CounterVecFunc("commchar_mesh_sim_time_ns_total",
 		"simulated time accumulated per interconnect topology", "topology", m.TopoSimTimeNS)
+	r.CounterVecFunc("commchar_coll_instances_total",
+		"collective instances characterized per op/algorithm", "op", m.CollInstances)
+	r.CounterVecFunc("commchar_coll_messages_total",
+		"collective messages attributed per op/algorithm", "op", m.CollMessages)
+	r.CounterVecFunc("commchar_coll_bytes_total",
+		"collective payload bytes attributed per op/algorithm", "op", m.CollBytes)
 }

@@ -616,6 +616,11 @@ func (e *Engine) runOnce(ctx context.Context, spec RunSpec, key, track string) (
 	e.metrics.SimEvents.Add(res.raw.Events)
 	e.metrics.SimTimeNS.Add(int64(res.raw.Elapsed))
 	e.metrics.topoRun(e.meshConfig(spec).Topology.String(), int64(len(res.raw.Log)), int64(res.raw.Elapsed))
+	if c.Coll != nil {
+		for _, om := range c.Coll.PerOp {
+			e.metrics.collRun(om.Op+"/"+om.Algorithm, int64(om.Count), int64(om.Messages), om.Bytes)
+		}
+	}
 	var faulted, failed int64
 	for _, d := range res.raw.Log {
 		if d.Faults != 0 {
@@ -768,7 +773,11 @@ func (e *Engine) acquireStatic(ctx context.Context, spec RunSpec, track string) 
 	e.obs.SpecStage(track, obs.StageAcquire)
 	sp := e.obs.StartSpan("engine", track, "stage", "acquire")
 	start := e.clock.Now()
-	tr, err := core.AcquireMessagePassing(spec.Procs, func(w *mp.World) error {
+	alg, err := mp.ParseAlgorithm(spec.Collectives)
+	if err != nil {
+		return nil, err // unreachable after validate
+	}
+	tr, err := core.AcquireMessagePassingWith(spec.Procs, alg, func(w *mp.World) error {
 		return apps.RunMessagePassingOn(w, spec.Scale, spec.App, spec.Procs)
 	})
 	acquire := e.clock.Now().Sub(start)

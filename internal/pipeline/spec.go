@@ -13,6 +13,7 @@ import (
 	"commchar/internal/cli"
 	"commchar/internal/core"
 	"commchar/internal/mesh"
+	"commchar/internal/mp"
 	"commchar/internal/sim"
 	"commchar/internal/spasm"
 	"commchar/internal/trace"
@@ -21,7 +22,7 @@ import (
 // DefaultSalt is the code-version component of every cache key. Bump it
 // whenever a change to the simulators or the analysis alters what a spec
 // produces, so stale on-disk artifacts invalidate themselves.
-const DefaultSalt = "commchar-pipeline-v1"
+const DefaultSalt = "commchar-pipeline-v2"
 
 // RunSpec names one characterization run: which application (or trace) to
 // acquire, on how many processors, at what scale, and under which machine
@@ -60,6 +61,13 @@ type RunSpec struct {
 	// existing cache keys and journals stay valid.
 	Topology string
 	Dims     []int
+
+	// Collectives selects the collective algorithm family of the static
+	// strategy's native execution by name (see mp.AlgorithmNames):
+	// "linear" (the default when empty) or "binomial". The zero value
+	// renders nothing into the spec string, so existing cache keys and
+	// journals stay valid.
+	Collectives string
 
 	// Fault injection: a deterministic schedule (see internal/fault) and
 	// its seed. Empty means a fault-free run.
@@ -130,6 +138,11 @@ func (s RunSpec) validate() error {
 			return cli.Usagef("pipeline: %v", err)
 		}
 	}
+	if s.Collectives != "" {
+		if _, err := mp.ParseAlgorithm(s.Collectives); err != nil {
+			return cli.Usagef("pipeline: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -157,6 +170,9 @@ func (s RunSpec) String() string {
 			fmt.Fprintf(&b, "%d", d)
 		}
 		b.WriteByte('|')
+	}
+	if s.Collectives != "" {
+		fmt.Fprintf(&b, "coll=%s|", s.Collectives)
 	}
 	return b.String()
 }

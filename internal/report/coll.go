@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"commchar/internal/coll"
+)
+
+// maxInstanceRows caps the per-instance table so apps with hundreds of
+// collectives (iterative solvers) keep readable reports.
+const maxInstanceRows = 12
+
+// Collectives renders the collective-communication and asynchronicity
+// section: the fitted per-op span models, the per-instance records, and
+// the idle-wave/desynchronization figures from the reconstructed
+// per-rank timelines.
+func Collectives(w io.Writer, cc *coll.Characterization) {
+	if cc == nil {
+		return
+	}
+	fmt.Fprintf(w, "Collectives & asynchronicity — %d instances, %d messages (%d point-to-point), %.1f KB\n",
+		len(cc.Instances), cc.Messages, cc.PointToPoint, float64(cc.Bytes)/1024)
+
+	mt := &Table{
+		Title:   "Fitted span models per op (span = L + o*S + G*S*m, ns)",
+		Columns: []string{"Op", "Alg", "Count", "Msgs", "MeanSpan(us)", "L(ns)", "o(ns)", "G(ns/B)", "R2", "MeanRelErr", "MaxRelErr"},
+	}
+	for _, m := range cc.PerOp {
+		mt.AddRow(m.Op, m.Algorithm,
+			fmt.Sprintf("%d", m.Count),
+			fmt.Sprintf("%d", m.Messages),
+			fmt.Sprintf("%.2f", m.MeanSpanNS/1000),
+			fmt.Sprintf("%.0f", m.L),
+			fmt.Sprintf("%.1f", m.O),
+			fmt.Sprintf("%.3f", m.G),
+			fmt.Sprintf("%.4f", m.R2),
+			fmt.Sprintf("%.4f", m.MeanRelErr),
+			fmt.Sprintf("%.4f", m.MaxRelErr),
+		)
+	}
+	mt.Render(w)
+	fmt.Fprintln(w)
+
+	it := &Table{
+		Title:   fmt.Sprintf("Collective instances (first %d of %d)", min(maxInstanceRows, len(cc.Instances)), len(cc.Instances)),
+		Columns: []string{"Seq", "Op", "Alg", "Shape", "Root", "P", "Bytes", "Regime", "Span(us)", "DesyncIdx", "Wave(ns/rank)"},
+	}
+	for i, inst := range cc.Instances {
+		if i >= maxInstanceRows {
+			break
+		}
+		op := inst.Op
+		if inst.Composite != "" {
+			op = inst.Composite + ":" + inst.Op
+		}
+		root := "-"
+		if inst.Root >= 0 {
+			root = fmt.Sprintf("p%d", inst.Root)
+		}
+		it.AddRow(
+			fmt.Sprintf("%d", inst.Seq), op, inst.Algorithm, inst.Shape, root,
+			fmt.Sprintf("%d", inst.Ranks),
+			fmt.Sprintf("%d", inst.MsgBytes),
+			inst.Regime,
+			fmt.Sprintf("%.2f", float64(inst.Span)/1000),
+			fmt.Sprintf("%.3f", inst.DesyncIndex),
+			fmt.Sprintf("%.1f", inst.WaveNSPerRank),
+		)
+	}
+	it.Render(w)
+	fmt.Fprintln(w)
+
+	rt := &Table{
+		Title:   "Per-rank activity (reconstructed timeline)",
+		Columns: []string{"Rank", "Busy(us)", "Overhead(us)", "Idle(us)", "IdleFrac", "Waits"},
+	}
+	for _, ra := range cc.Idle.PerRank {
+		rt.AddRow(
+			fmt.Sprintf("p%d", ra.Rank),
+			fmt.Sprintf("%.2f", float64(ra.BusyNS)/1000),
+			fmt.Sprintf("%.2f", float64(ra.OverheadNS)/1000),
+			fmt.Sprintf("%.2f", float64(ra.IdleNS)/1000),
+			fmt.Sprintf("%.4f", ra.IdleFraction),
+			fmt.Sprintf("%d", ra.Waits),
+		)
+	}
+	rt.Render(w)
+	fmt.Fprintf(w, "  idle fraction: mean %.4f, max %.4f   desync index: mean %.3f   idle wave: mean |%.1f| ns/rank\n",
+		cc.Idle.MeanIdleFraction, cc.Idle.MaxIdleFraction, cc.Idle.MeanDesyncIndex, cc.Idle.MeanAbsWaveNSPerRank)
+}

@@ -309,6 +309,11 @@ func Render(w io.Writer, c *core.Characterization) {
 		}
 	}
 	VolumeFigure(w, c, 40)
+
+	if c.Coll != nil {
+		fmt.Fprintln(w)
+		Collectives(w, c.Coll)
+	}
 }
 
 // FaultSummary renders the fault-injection outcome of a mesh run: how much
